@@ -1,0 +1,167 @@
+"""Ablation and extension benchmarks beyond the paper's own evaluation.
+
+DESIGN.md calls out three design choices worth quantifying separately:
+
+* the head-election policy (the paper allows rotation but does not measure it);
+* the spare-selection rule inside a cell (nearest versus random);
+* how SR compares against the related-work baselines the introduction
+  criticises (virtual force, SMART scan balancing).
+
+None of these series appears in the paper; they are extensions that use the
+same workload generator so their numbers are directly comparable with the
+Figure 6-8 reproductions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.core.shortcut import ShortcutReplacementController
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweep import SCHEME_FACTORIES, make_controller
+from repro.sim.engine import run_recovery
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+from figutils import emit
+
+
+ABLATION_CONFIG = ScenarioConfig(
+    columns=12, rows=12, communication_range=10.0, deployed_count=1000, seed=77
+)
+
+
+@pytest.mark.benchmark(group="ablation-spare-selection")
+@pytest.mark.parametrize("selection", ["nearest", "random"])
+def test_ablation_spare_selection(benchmark, selection):
+    """Nearest-spare selection saves distance over random selection, not moves."""
+    config = ABLATION_CONFIG.with_spare_surplus(80)
+    base_state = build_scenario_state(config)
+
+    def run():
+        state = base_state.clone()
+        controller = HamiltonReplacementController(
+            build_hamilton_cycle(state.grid), spare_selection=selection
+        )
+        return run_recovery(state, controller, derive_rng(77, selection)).metrics
+
+    metrics = benchmark(run)
+    assert metrics.final_holes == 0
+    assert metrics.success_rate == 1.0
+
+
+@pytest.mark.benchmark(group="ablation-head-policy")
+@pytest.mark.parametrize("policy", ["lowest_id", "highest_energy", "nearest_to_center"])
+def test_ablation_head_policy(benchmark, policy):
+    """The SR guarantees hold under every head-election policy."""
+    config = ScenarioConfig(
+        columns=12,
+        rows=12,
+        deployed_count=1000,
+        spare_surplus=80,
+        seed=78,
+        head_policy=policy,
+    )
+    base_state = build_scenario_state(config)
+
+    def run():
+        state = base_state.clone()
+        controller = HamiltonReplacementController(build_hamilton_cycle(state.grid))
+        return run_recovery(state, controller, derive_rng(78, policy)).metrics
+
+    metrics = benchmark(run)
+    assert metrics.final_holes == 0
+    assert metrics.processes_initiated == metrics.initial_holes
+
+
+@pytest.mark.benchmark(group="extension-shortcut")
+@pytest.mark.parametrize("spare_surplus", [15, 60])
+def test_extension_shortcut_versus_plain_sr(benchmark, results_dir, spare_surplus):
+    """The paper's future-work short-cut: cheaper than plain SR, same guarantee.
+
+    The sparse point (N = 15) is where Section 5 expects the biggest win; the
+    dense point (N = 60) checks the short-cut never hurts.
+    """
+    config = ABLATION_CONFIG.with_spare_surplus(spare_surplus)
+    base_state = build_scenario_state(config)
+
+    def run_pair():
+        rows = {}
+        for name, cls in (("SR", HamiltonReplacementController), ("SR-shortcut", ShortcutReplacementController)):
+            state = base_state.clone()
+            controller = cls(build_hamilton_cycle(state.grid))
+            metrics = run_recovery(
+                state, controller, derive_rng(83, f"{name}-{spare_surplus}")
+            ).metrics
+            rows[name] = metrics
+        return rows
+
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    result = ExperimentResult(
+        name=f"extension: short-cut SR vs plain SR (N = {spare_surplus})",
+        columns=["scheme", "moves", "distance", "rounds", "final_holes"],
+    )
+    for name, metrics in rows.items():
+        result.add_row(
+            scheme=name,
+            moves=metrics.total_moves,
+            distance=metrics.total_distance,
+            rounds=metrics.rounds,
+            final_holes=metrics.final_holes,
+        )
+    emit(result, results_dir, f"extension_shortcut_N{spare_surplus}.csv")
+
+    assert rows["SR"].final_holes == 0
+    assert rows["SR-shortcut"].final_holes == 0
+    assert rows["SR-shortcut"].total_moves <= rows["SR"].total_moves
+    assert rows["SR-shortcut"].processes_initiated == rows["SR"].processes_initiated
+
+
+@pytest.mark.benchmark(group="extension-baselines")
+def test_extension_all_schemes_comparison(benchmark, results_dir):
+    """SR versus AR, virtual force, and SMART balancing on one scenario."""
+    config = ABLATION_CONFIG.with_spare_surplus(60)
+    base_state = build_scenario_state(config)
+
+    def run_all() -> ExperimentResult:
+        result = ExperimentResult(
+            name="extension: all schemes on a 12x12 scenario",
+            columns=[
+                "scheme",
+                "rounds",
+                "processes",
+                "success_rate",
+                "moves",
+                "distance",
+                "final_holes",
+            ],
+            description=f"N = 60, {base_state.enabled_count} enabled nodes",
+        )
+        for scheme in SCHEME_FACTORIES:
+            state = base_state.clone()
+            controller = make_controller(scheme, state)
+            metrics = run_recovery(
+                state, controller, derive_rng(79, scheme), max_rounds=400
+            ).metrics
+            result.add_row(
+                scheme=scheme,
+                rounds=metrics.rounds,
+                processes=metrics.processes_initiated,
+                success_rate=metrics.success_rate,
+                moves=metrics.total_moves,
+                distance=metrics.total_distance,
+                final_holes=metrics.final_holes,
+            )
+        return result
+
+    result = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(result, results_dir, "extension_all_schemes.csv")
+
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    # SR restores coverage with the fewest movements of all schemes.
+    assert by_scheme["SR"]["final_holes"] == 0
+    assert by_scheme["SR"]["moves"] <= by_scheme["AR"]["moves"]
+    assert by_scheme["SR"]["moves"] <= by_scheme["SMART"]["moves"]
+    assert by_scheme["SR"]["moves"] <= by_scheme["VF"]["moves"]

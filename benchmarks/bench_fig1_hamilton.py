@@ -1,0 +1,58 @@
+"""Figure 1(b): construction of the directed Hamilton cycle.
+
+Regenerates the cycle layout of the paper's 4x5 example and benchmarks the
+serpentine construction on the evaluation-sized 16x16 grid (plus a larger
+64x64 grid to show the construction scales linearly with the cell count).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hamilton import SerpentineHamiltonCycle, build_hamilton_cycle
+from repro.experiments.figures import figure1_hamilton_layout
+from repro.grid.virtual_grid import VirtualGrid
+
+
+@pytest.mark.benchmark(group="fig1-hamilton-construction")
+@pytest.mark.parametrize("columns,rows", [(4, 5), (16, 16), (64, 64)])
+def test_fig1_serpentine_construction(benchmark, columns, rows):
+    """Time the Hamilton-cycle construction and check it is a legal cycle."""
+    grid = VirtualGrid(columns, rows, cell_size=4.4721)
+
+    cycle = benchmark(build_hamilton_cycle, grid)
+
+    cycle.validate()
+    assert cycle.replacement_path_length in (columns * rows - 1, columns * rows - 2)
+
+
+@pytest.mark.benchmark(group="fig1-hamilton-layout")
+def test_fig1_layout_rendering(benchmark, results_dir):
+    """Render the 4x5 cycle of Figure 1(b) and persist it next to the CSVs."""
+    layout = benchmark(figure1_hamilton_layout, 4, 5)
+
+    assert "Hamilton cycle" in layout
+    # Every cell index 0..19 appears exactly once in the rendering.
+    for index in range(20):
+        assert str(index) in layout
+    (results_dir / "fig1_hamilton_4x5.txt").write_text(layout + "\n")
+    print()
+    print(layout)
+
+
+@pytest.mark.benchmark(group="fig1-hamilton-successor")
+def test_fig1_successor_lookup(benchmark):
+    """Successor/predecessor lookups are O(1); they run once per head per round."""
+    grid = VirtualGrid(16, 16, cell_size=4.4721)
+    cycle = SerpentineHamiltonCycle(grid)
+    cells = list(grid.all_coords())
+
+    def walk_all():
+        total = 0
+        for coord in cells:
+            successor = cycle.successor(coord)
+            total += successor.x + successor.y
+        return total
+
+    total = benchmark(walk_all)
+    assert total > 0

@@ -1,0 +1,56 @@
+"""Figure 3: analytical expected node movements of a single replacement.
+
+Regenerates both sub-figures — the 4x5 grid (L = 19) and the 16x16 grid
+(L = 255) — and benchmarks the Theorem-2 evaluation.  The paper's reference
+point (N = 12 spares in the 4x5 system -> 2.0139 movements on average) is
+asserted exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analysis
+from repro.experiments.figures import figure3_expected_movements
+
+from figutils import emit
+
+
+@pytest.mark.benchmark(group="fig3-analysis")
+def test_fig3_expected_movements_table(benchmark, results_dir):
+    """Regenerate the Figure 3 data series for both grid systems."""
+    result = benchmark(figure3_expected_movements)
+
+    emit(result, results_dir, "fig3_expected_movements.csv")
+
+    small = {int(row["N"]): row["expected_moves"] for row in result.rows if row["grid"] == "4x5"}
+    large = {int(row["N"]): row["expected_moves"] for row in result.rows if row["grid"] == "16x16"}
+    # Shape checks corresponding to the paper's curves: monotone decay from L
+    # toward 1 as the number of spares grows.
+    assert small[0] == pytest.approx(19.0)
+    assert large[0] == pytest.approx(255.0)
+    assert small[140] < 1.2
+    assert large[1400] < 1.2
+    assert all(small[n] >= small[n + 10] for n in range(0, 140, 10))
+
+
+@pytest.mark.benchmark(group="fig3-analysis")
+def test_fig3_paper_reference_point(benchmark):
+    """The worked example of Section 3: N = 12 spares, 4x5 grid -> 2.0139 moves."""
+    value = benchmark(analysis.expected_movements, 12, 19)
+    assert value == pytest.approx(2.0139, abs=1e-4)
+
+
+@pytest.mark.benchmark(group="fig3-analysis")
+def test_fig3_density_claim(benchmark):
+    """Section 3's density claim: >= 1.68 enabled nodes per cell keeps M <= 2 at 16x16."""
+    density = benchmark(analysis.minimum_density_for_expected_movements, 16, 16, 2.0)
+    assert 1.5 <= density <= 1.8
+
+
+@pytest.mark.benchmark(group="fig3-analysis-distribution")
+@pytest.mark.parametrize("path_length", [19, 255])
+def test_fig3_distribution_evaluation(benchmark, path_length):
+    """Time the full P(i) distribution evaluation used by the tail analyses."""
+    distribution = benchmark(analysis.movement_distribution, 40, path_length)
+    assert distribution.sum() == pytest.approx(1.0)

@@ -1,0 +1,70 @@
+"""Figure 4: the dual-path Hamilton construction for odd-by-odd grids.
+
+Regenerates the 5x5 layout of the paper's Figure 4 and benchmarks both the
+construction and a full recovery run that exercises Algorithm 2's special
+cells (A, B, C, D).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hamilton import DualPathHamiltonCycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.experiments.figures import figure4_dual_path_layout
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.deployment import deploy_per_cell
+from repro.network.failures import TargetedCellFailure
+from repro.network.state import WsnState
+from repro.sim.engine import run_recovery
+from repro.sim.rng import derive_rng
+
+
+@pytest.mark.benchmark(group="fig4-dual-path-construction")
+@pytest.mark.parametrize("columns,rows", [(5, 5), (15, 15), (31, 31)])
+def test_fig4_dual_path_construction(benchmark, columns, rows):
+    """Time the dual-path construction and check the structural claims of Section 4."""
+    grid = VirtualGrid(columns, rows, cell_size=4.4721)
+
+    cycle = benchmark(DualPathHamiltonCycle, grid)
+
+    cycle.validate()
+    assert len(cycle.shared_chain()) == columns * rows - 2
+    assert cycle.replacement_path_length == columns * rows - 2
+    assert len(cycle.path_one()) == columns * rows
+    assert len(cycle.path_two()) == columns * rows
+
+
+@pytest.mark.benchmark(group="fig4-dual-path-layout")
+def test_fig4_layout_rendering(benchmark, results_dir):
+    """Render the 5x5 dual-path layout of Figure 4."""
+    layout = benchmark(figure4_dual_path_layout, 5, 5)
+
+    assert "path one" in layout and "path two" in layout
+    (results_dir / "fig4_dual_path_5x5.txt").write_text(layout + "\n")
+    print()
+    print(layout)
+
+
+@pytest.mark.benchmark(group="fig4-dual-path-recovery")
+@pytest.mark.parametrize(
+    "hole",
+    [GridCoord(0, 0), GridCoord(1, 1), GridCoord(1, 0), GridCoord(3, 3)],
+    ids=["cell-A", "cell-B", "cell-D", "chain-cell"],
+)
+def test_fig4_recovery_through_special_cells(benchmark, hole):
+    """Repair a hole at each special cell of Algorithm 2 on a 5x5 grid."""
+    grid = VirtualGrid(5, 5, cell_size=4.4721)
+
+    def run():
+        rng = derive_rng(99, f"fig4-{hole.as_tuple()}")
+        nodes = deploy_per_cell(grid, 2, rng)
+        state = WsnState(grid, nodes)
+        TargetedCellFailure(cells=[hole]).apply(state, rng)
+        controller = HamiltonReplacementController(DualPathHamiltonCycle(grid))
+        result = run_recovery(state, controller, rng)
+        return result.metrics
+
+    metrics = benchmark(run)
+    assert metrics.final_holes == 0
+    assert metrics.success_rate == 1.0

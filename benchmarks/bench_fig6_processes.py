@@ -1,0 +1,61 @@
+"""Figure 6: number of replacement processes initiated and success rate, AR vs SR.
+
+Uses the shared Section-5 sweep (16x16 grid, 5000 deployed sensors, N from 10
+to 1000) and checks the two claims the paper draws from this figure:
+
+* SR needs fewer than half of AR's replacement processes (one per hole);
+* SR's success rate is 100% across the whole range, while AR loses 10-20% of
+  its processes at low densities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.experiments.figures import figure6_processes_and_success
+from repro.sim.engine import run_recovery
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+from figutils import emit
+
+
+@pytest.mark.benchmark(group="fig6-processes")
+def test_fig6_processes_and_success(benchmark, section5_experiment, results_dir):
+    """Regenerate the Figure 6 series from the shared Section-5 sweep."""
+    result = benchmark(figure6_processes_and_success, section5_experiment)
+
+    emit(result, results_dir, "fig6_processes_success.csv")
+
+    for row in result.rows:
+        holes = float(row["holes"])
+        if holes == 0:
+            continue
+        # SR: exactly one replacement process per hole, all of them succeed.
+        assert float(row["SR_processes"]) == pytest.approx(holes, rel=0.01)
+        assert float(row["SR_success_pct"]) == pytest.approx(100.0)
+        # AR: redundant processes (the paper reports SR needing < 50% of AR's).
+        assert float(row["AR_processes"]) >= 1.9 * float(row["SR_processes"])
+    # AR shows failures at the low-density end of the sweep.
+    low_density = min(result.rows, key=lambda r: float(r["N"]))
+    assert float(low_density["AR_success_pct"]) < 100.0
+
+
+@pytest.mark.benchmark(group="fig6-single-run")
+def test_fig6_single_sr_run_cost(benchmark):
+    """Benchmark one SR recovery on the paper-sized workload (N = 55)."""
+    config = ScenarioConfig(
+        columns=16, rows=16, deployed_count=5000, spare_surplus=55, seed=61
+    )
+    base_state = build_scenario_state(config)
+
+    def run():
+        state = base_state.clone()
+        controller = HamiltonReplacementController(build_hamilton_cycle(state.grid))
+        return run_recovery(state, controller, derive_rng(61, "bench")).metrics
+
+    metrics = benchmark(run)
+    assert metrics.final_holes == 0
+    assert metrics.processes_initiated == metrics.initial_holes

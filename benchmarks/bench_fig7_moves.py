@@ -1,0 +1,62 @@
+"""Figure 7: total number of node movements — experimental AR/SR and analytical SR.
+
+Checks the shape the paper reports: SR needs *more* movements than AR in very
+sparse networks (the cascade has to walk a long stretch of the Hamilton path)
+but fewer movements once the spare surplus passes the crossover region, and
+the SR measurements track the Theorem-2 prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline_ar import LocalizedReplacementController
+from repro.experiments.figures import figure7_node_movements
+from repro.sim.engine import run_recovery
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+from figutils import emit
+
+
+@pytest.mark.benchmark(group="fig7-moves")
+def test_fig7_node_movements(benchmark, section5_experiment, results_dir):
+    """Regenerate the Figure 7 series and verify its qualitative shape."""
+    result = benchmark(figure7_node_movements, section5_experiment)
+
+    emit(result, results_dir, "fig7_node_movements.csv")
+
+    rows = {int(row["N"]): row for row in result.rows}
+    sparse = rows[min(rows)]
+    dense = rows[max(rows)]
+    # Very sparse networks: the SR cascade walks far, costing more moves than AR.
+    assert float(sparse["SR_moves"]) > float(sparse["AR_moves"])
+    # Dense networks: SR is cheaper than AR (the paper's usual-case claim).
+    assert float(dense["SR_moves"]) <= float(dense["AR_moves"])
+    # The experimental SR curve tracks the analytical prediction within 2x
+    # everywhere (the paper shows them nearly overlapping).
+    for row in result.rows:
+        analytic = float(row["SR_moves_analytic"])
+        measured = float(row["SR_moves"])
+        if analytic > 0 and measured > 0:
+            assert 0.4 <= measured / analytic <= 2.5
+    # Total movements decrease as the spare surplus grows.
+    assert float(dense["SR_moves"]) < float(sparse["SR_moves"])
+
+
+@pytest.mark.benchmark(group="fig7-single-run")
+def test_fig7_single_ar_run_cost(benchmark):
+    """Benchmark one AR recovery on the paper-sized workload (N = 55)."""
+    config = ScenarioConfig(
+        columns=16, rows=16, deployed_count=5000, spare_surplus=55, seed=71
+    )
+    base_state = build_scenario_state(config)
+
+    def run():
+        state = base_state.clone()
+        controller = LocalizedReplacementController(state.grid)
+        return run_recovery(state, controller, derive_rng(71, "bench")).metrics
+
+    metrics = benchmark(run)
+    assert metrics.total_moves > 0
+    assert metrics.processes_initiated > metrics.initial_holes

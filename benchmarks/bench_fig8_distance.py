@@ -1,0 +1,62 @@
+"""Figure 8: total moving distance (metres) — experimental AR/SR and analytical SR.
+
+The distance curves mirror the movement curves of Figure 7 scaled by the
+per-hop distance (about ``1.08 * r``): SR pays more distance than AR only in
+the very sparse regime and tracks the Section-4 estimate everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure8_total_distance
+from repro.grid.virtual_grid import AVERAGE_MOVE_FACTOR, cell_side_for_range
+
+from figutils import emit
+
+
+@pytest.mark.benchmark(group="fig8-distance")
+def test_fig8_total_distance(benchmark, section5_experiment, results_dir):
+    """Regenerate the Figure 8 series and verify its qualitative shape."""
+    result = benchmark(figure8_total_distance, section5_experiment)
+
+    emit(result, results_dir, "fig8_total_distance.csv")
+
+    rows = {int(row["N"]): row for row in result.rows}
+    sparse = rows[min(rows)]
+    dense = rows[max(rows)]
+    assert float(sparse["SR_distance"]) > float(sparse["AR_distance"])
+    assert float(dense["SR_distance"]) <= float(dense["AR_distance"])
+    # Distance per movement stays inside the paper's per-hop band around 1.08*r.
+    cell_size = cell_side_for_range(10.0)
+    for row in result.rows:
+        moves_row = float(row["SR_distance"])
+        if moves_row == 0:
+            continue
+        # The analytical curve is the movement expectation scaled by 1.08 * r.
+        analytic = float(row["SR_distance_analytic"])
+        measured = float(row["SR_distance"])
+        assert 0.4 <= measured / analytic <= 2.5
+    assert float(dense["SR_distance"]) < float(sparse["SR_distance"])
+
+
+@pytest.mark.benchmark(group="fig8-distance")
+def test_fig8_distance_consistent_with_fig7(benchmark, section5_experiment):
+    """Distance ≈ movements x (average hop length) for the SR measurements."""
+    cell_size = cell_side_for_range(10.0)
+
+    def ratio_band():
+        ratios = []
+        for row in section5_experiment.rows:
+            moves = float(row["SR_moves"])
+            distance = float(row["SR_distance"])
+            if moves > 0:
+                ratios.append(distance / moves / cell_size)
+        return ratios
+
+    ratios = benchmark(ratio_band)
+    for ratio in ratios:
+        # Per-hop distance in units of r must stay within the Section-4 bounds.
+        assert 0.25 <= ratio <= 1.91
+        # ... and close to the 1.08 average the estimates use.
+        assert abs(ratio - AVERAGE_MOVE_FACTOR) < 0.35

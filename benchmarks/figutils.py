@@ -1,0 +1,19 @@
+"""Small helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.results import ExperimentResult
+
+
+def emit(result: ExperimentResult, results_dir: Path, filename: str) -> None:
+    """Print a regenerated figure table and persist it as CSV.
+
+    The printed table is visible with ``pytest -s``; the CSV always lands in
+    ``benchmarks/results/`` so EXPERIMENTS.md can reference stable artefacts.
+    """
+    result.to_csv(results_dir / filename)
+    print()
+    print(result.format())
+    print(f"[saved to {results_dir / filename}]")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments where pip falls back to the legacy
+``setup.py``-based editable install (e.g. offline machines without the
+``wheel`` package available for PEP 660 builds).
+"""
+
+from setuptools import setup
+
+setup()

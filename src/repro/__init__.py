@@ -1,0 +1,108 @@
+"""repro — reproduction of "Mobility Control for Complete Coverage in WSNs".
+
+This package reproduces the system and the evaluation of
+
+    Zhen Jiang, Jie Wu, Robert Kline, Jennifer Krantz.
+    "Mobility Control for Complete Coverage in Wireless Sensor Networks."
+    ICDCS 2008 Workshops, pp. 291-296.
+
+Quick tour of the public API
+----------------------------
+
+* :class:`repro.VirtualGrid` / :class:`repro.WsnState` — the virtual-grid
+  substrate and the mutable network state (nodes, heads, spares, holes).
+* :func:`repro.build_hamilton_cycle` — directed Hamilton cycle over the grid
+  (serpentine, or the dual-path construction for odd-by-odd grids).
+* :class:`repro.HamiltonReplacementController` — the paper's SR scheme.
+* :class:`repro.LocalizedReplacementController` — the AR baseline.
+* :class:`repro.RoundBasedEngine` / :func:`repro.run_recovery` — the
+  round-based simulation engine.
+* :class:`repro.ScenarioConfig` / :func:`repro.build_scenario_state` — the
+  paper's experimental workload (uniform deployment, thinning to ``N + m*n``
+  enabled nodes).
+* :mod:`repro.core.analysis` — Theorem 2 / Corollary 2 analytical model.
+* :mod:`repro.experiments` — drivers that regenerate every figure of the
+  paper's evaluation.
+
+See ``examples/quickstart.py`` for a five-minute end-to-end walk-through.
+"""
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import (
+    GridCoord,
+    VirtualGrid,
+    cell_side_for_range,
+    required_range_for_cell,
+)
+from repro.grid.coverage import coverage_report
+from repro.grid.connectivity import is_head_network_connected
+from repro.network.node import NodeRole, NodeState, SensorNode
+from repro.network.radio import UnitDiskRadio
+from repro.network.state import WsnState
+from repro.network.deployment import deploy_per_cell, deploy_uniform
+from repro.network.failures import (
+    RandomFailure,
+    RegionJammingFailure,
+    TargetedCellFailure,
+    ThinningToEnabledCount,
+)
+from repro.core.hamilton import (
+    DualPathHamiltonCycle,
+    HamiltonCycle,
+    SerpentineHamiltonCycle,
+    build_hamilton_cycle,
+)
+from repro.core.replacement import HamiltonReplacementController
+from repro.core.shortcut import ShortcutReplacementController
+from repro.core.baseline_ar import LocalizedReplacementController
+from repro.core.protocol import MobilityController, ReplacementProcess, RoundOutcome
+from repro.core import analysis
+from repro.sim.engine import RoundBasedEngine, SimulationResult, run_recovery
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+from repro.sim.metrics import RunMetrics
+from repro.sim.events import EventLog
+from repro.sim.rng import derive_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BoundingBox",
+    "Point",
+    "GridCoord",
+    "VirtualGrid",
+    "cell_side_for_range",
+    "required_range_for_cell",
+    "coverage_report",
+    "is_head_network_connected",
+    "NodeRole",
+    "NodeState",
+    "SensorNode",
+    "UnitDiskRadio",
+    "WsnState",
+    "deploy_uniform",
+    "deploy_per_cell",
+    "RandomFailure",
+    "RegionJammingFailure",
+    "TargetedCellFailure",
+    "ThinningToEnabledCount",
+    "HamiltonCycle",
+    "SerpentineHamiltonCycle",
+    "DualPathHamiltonCycle",
+    "build_hamilton_cycle",
+    "HamiltonReplacementController",
+    "ShortcutReplacementController",
+    "LocalizedReplacementController",
+    "MobilityController",
+    "ReplacementProcess",
+    "RoundOutcome",
+    "analysis",
+    "RoundBasedEngine",
+    "SimulationResult",
+    "run_recovery",
+    "ScenarioConfig",
+    "build_scenario_state",
+    "RunMetrics",
+    "EventLog",
+    "derive_rng",
+]

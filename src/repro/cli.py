@@ -1,0 +1,305 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows of the
+library without writing any code:
+
+* ``figures`` — regenerate the data behind the paper's evaluation figures
+  (tables, optional CSV export, optional ASCII charts);
+* ``compare`` — run any subset of the implemented schemes on one scenario and
+  print their cost metrics side by side;
+* ``analyze`` — evaluate the Theorem-2 analytical model for a given spare
+  count and Hamilton-path length;
+* ``layout`` — print the Hamilton cycle or dual-path construction of a grid.
+
+Every command accepts ``--help``.  The CLI is a thin layer over
+:mod:`repro.experiments`; anything it prints can also be obtained
+programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core import analysis
+from repro.experiments.figures import (
+    PAPER_SPARE_VALUES,
+    QUICK_SPARE_VALUES,
+    figure1_hamilton_layout,
+    figure3_expected_movements,
+    figure4_dual_path_layout,
+    figure5_distance_estimates,
+    figure6_processes_and_success,
+    figure7_node_movements,
+    figure8_total_distance,
+    run_section5_experiment,
+)
+from repro.experiments.plotting import ascii_chart
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweep import SCHEME_FACTORIES, make_controller
+from repro.sim.engine import run_recovery
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+#: Figures that need the experimental SR-vs-AR sweep (as opposed to analysis only).
+EXPERIMENTAL_FIGURES = ("fig6", "fig7", "fig8")
+ALL_FIGURES = ("fig1", "fig3", "fig4", "fig5") + EXPERIMENTAL_FIGURES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Mobility Control for Complete Coverage in Wireless "
+            "Sensor Networks' (ICDCS 2008 Workshops)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the data series behind the paper's figures"
+    )
+    figures.add_argument(
+        "which",
+        nargs="*",
+        default=["all"],
+        help=f"figures to regenerate: any of {', '.join(ALL_FIGURES)} or 'all'",
+    )
+    figures.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the small spare-surplus sweep (fast smoke run) for figures 6-8",
+    )
+    figures.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write each series as CSV here"
+    )
+    figures.add_argument(
+        "--chart", action="store_true", help="print ASCII charts in addition to tables"
+    )
+    figures.add_argument("--seed", type=int, default=2008, help="master random seed")
+    figures.add_argument(
+        "--trials", type=int, default=1, help="trials to average for figures 6-8"
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="run several schemes on one identical scenario"
+    )
+    compare.add_argument("--columns", type=int, default=16)
+    compare.add_argument("--rows", type=int, default=16)
+    compare.add_argument("--deployed", type=int, default=5000)
+    compare.add_argument(
+        "--spare-surplus", type=int, default=55, help="the paper's N (enabled - m*n)"
+    )
+    compare.add_argument("--communication-range", type=float, default=10.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--max-rounds", type=int, default=None)
+    compare.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["SR", "AR"],
+        choices=sorted(SCHEME_FACTORIES),
+        help="schemes to run",
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze", help="evaluate the Theorem-2 analytical model"
+    )
+    analyze.add_argument("--spares", type=int, required=True, help="number of spare nodes N")
+    analyze.add_argument(
+        "--path-length", type=int, default=255, help="Hamilton path length L (default 16x16)"
+    )
+    analyze.add_argument(
+        "--cell-size", type=float, default=4.4721, help="cell side r in metres"
+    )
+
+    layout = subparsers.add_parser(
+        "layout", help="print the Hamilton cycle / dual-path construction of a grid"
+    )
+    layout.add_argument("--columns", type=int, default=4)
+    layout.add_argument("--rows", type=int, default=5)
+
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+def _emit(result: ExperimentResult, csv_dir: Optional[Path], filename: str) -> None:
+    print(result.format())
+    if csv_dir is not None:
+        path = result.to_csv(csv_dir / filename)
+        print(f"[written to {path}]")
+    print()
+
+
+def _figures_command(args: argparse.Namespace) -> int:
+    wanted = set(args.which)
+    if "all" in wanted or not wanted:
+        wanted = set(ALL_FIGURES)
+    unknown = wanted - set(ALL_FIGURES)
+    if unknown:
+        print(f"unknown figures: {sorted(unknown)} (choose from {ALL_FIGURES})", file=sys.stderr)
+        return 2
+
+    if "fig1" in wanted:
+        print(figure1_hamilton_layout())
+        print()
+    if "fig3" in wanted:
+        _emit(figure3_expected_movements(), args.csv_dir, "fig3_expected_movements.csv")
+    if "fig4" in wanted:
+        print(figure4_dual_path_layout())
+        print()
+    if "fig5" in wanted:
+        _emit(figure5_distance_estimates(), args.csv_dir, "fig5_distance_estimates.csv")
+
+    if wanted & set(EXPERIMENTAL_FIGURES):
+        spare_values = QUICK_SPARE_VALUES if args.quick else PAPER_SPARE_VALUES
+        config = ScenarioConfig(seed=args.seed)
+        experiment = run_section5_experiment(
+            spare_values=spare_values, config=config, trials=args.trials
+        )
+        if "fig6" in wanted:
+            result = figure6_processes_and_success(experiment)
+            _emit(result, args.csv_dir, "fig6_processes_success.csv")
+            if args.chart:
+                print(
+                    ascii_chart(
+                        {
+                            "SR": result.series("N", "SR_processes"),
+                            "AR": result.series("N", "AR_processes"),
+                        },
+                        title="Figure 6(a): replacement processes initiated",
+                        x_label="N",
+                        y_label="processes",
+                    )
+                )
+                print()
+        if "fig7" in wanted:
+            result = figure7_node_movements(experiment)
+            _emit(result, args.csv_dir, "fig7_node_movements.csv")
+            if args.chart:
+                print(
+                    ascii_chart(
+                        {
+                            "SR": result.series("N", "SR_moves"),
+                            "AR": result.series("N", "AR_moves"),
+                            "SR analytic": result.series("N", "SR_moves_analytic"),
+                        },
+                        title="Figure 7: number of node movements",
+                        x_label="N",
+                        y_label="moves",
+                    )
+                )
+                print()
+        if "fig8" in wanted:
+            result = figure8_total_distance(experiment)
+            _emit(result, args.csv_dir, "fig8_total_distance.csv")
+            if args.chart:
+                print(
+                    ascii_chart(
+                        {
+                            "SR": result.series("N", "SR_distance"),
+                            "AR": result.series("N", "AR_distance"),
+                        },
+                        title="Figure 8: total moving distance (m)",
+                        x_label="N",
+                        y_label="metres",
+                    )
+                )
+                print()
+    return 0
+
+
+def _compare_command(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        columns=args.columns,
+        rows=args.rows,
+        communication_range=args.communication_range,
+        deployed_count=args.deployed,
+        spare_surplus=args.spare_surplus,
+        seed=args.seed,
+    )
+    base_state = build_scenario_state(config)
+    print(
+        f"scenario: {config.columns}x{config.rows} grid, r = {config.cell_size:.4f} m, "
+        f"{base_state.enabled_count} enabled nodes, {base_state.hole_count} holes, "
+        f"{base_state.spare_count} spares (N = {args.spare_surplus})"
+    )
+    result = ExperimentResult(
+        name="scheme comparison",
+        columns=[
+            "scheme",
+            "rounds",
+            "processes",
+            "success_rate",
+            "moves",
+            "distance_m",
+            "holes_left",
+        ],
+    )
+    for scheme in args.schemes:
+        state = base_state.clone()
+        controller = make_controller(scheme, state)
+        metrics = run_recovery(
+            state,
+            controller,
+            derive_rng(args.seed, f"{scheme}-controller"),
+            max_rounds=args.max_rounds,
+        ).metrics
+        result.add_row(
+            scheme=scheme,
+            rounds=metrics.rounds,
+            processes=metrics.processes_initiated,
+            success_rate=metrics.success_rate,
+            moves=metrics.total_moves,
+            distance_m=metrics.total_distance,
+            holes_left=metrics.final_holes,
+        )
+    print(result.format())
+    return 0
+
+
+def _analyze_command(args: argparse.Namespace) -> int:
+    moves = analysis.expected_movements(args.spares, args.path_length)
+    distance = analysis.expected_total_distance(args.spares, args.path_length, args.cell_size)
+    low, average, high = analysis.hop_distance_statistics(args.cell_size)
+    print(f"Theorem 2 with N = {args.spares} spares, L = {args.path_length}:")
+    print(f"  expected node movements per replacement : {moves:.4f}")
+    print(f"  expected total moving distance          : {distance:.2f} m")
+    print(f"  per-hop distance (min / avg / max)      : {low:.2f} / {average:.2f} / {high:.2f} m")
+    print(
+        "  P(converge within 1 / 2 / 5 hops)       : "
+        + " / ".join(
+            f"{analysis.convergence_probability_within(args.spares, args.path_length, h):.3f}"
+            for h in (1, 2, 5)
+        )
+    )
+    return 0
+
+
+def _layout_command(args: argparse.Namespace) -> int:
+    if args.columns % 2 == 1 and args.rows % 2 == 1:
+        print(figure4_dual_path_layout(args.columns, args.rows))
+    else:
+        print(figure1_hamilton_layout(args.columns, args.rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figures":
+        return _figures_command(args)
+    if args.command == "compare":
+        return _compare_command(args)
+    if args.command == "analyze":
+        return _analyze_command(args)
+    if args.command == "layout":
+        return _layout_command(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

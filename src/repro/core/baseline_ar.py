@@ -1,0 +1,299 @@
+"""AR: the localized, unsynchronised cascading-replacement baseline.
+
+The paper compares SR against the scheme of [3] (Jiang, Wu, Agah, Lu,
+"Topology control for secured coverage in wireless sensor networks",
+WSNS'07), which it calls AR and describes as "the best result known to date":
+a localized control method based only on the 1-hop neighbourhood in which a
+snake-like cascading replacement is initiated *whenever a vacant area is
+detected*.  Because there is no synchronisation, **every** head adjacent to a
+hole starts its own replacement process, so a single hole incurs multiple —
+partly redundant — processes and extra node movements, and competing
+processes can strand each other (the 10-20% failure rate in Figure 6(b)).
+
+The original AR implementation is not publicly available, so this module is
+a faithful reconstruction of the behaviour the paper relies on:
+
+* every occupied 4-neighbour of a newly detected hole initiates a process;
+* a process first tries to send a spare from its initiator cell; with no
+  spare the head itself moves in, vacating its own cell, and the cascade
+  continues from a neighbouring cell chosen with only 1-hop knowledge
+  (preferring to keep moving in a straight line, never backtracking);
+* processes acting in the same round cannot see each other's moves, so a
+  hole may receive several replacement nodes at once (redundant moves);
+* a process fails when its cascade dead-ends on vacant cells or the grid
+  boundary, when it is starved by competing processes for too many rounds,
+  or when it exceeds its hop budget.
+
+See DESIGN.md ("AR reconstruction") for the mapping between these rules and
+the claims made in Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.protocol import MobilityController, ReplacementProcess, RoundOutcome
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.node import SensorNode
+from repro.network.state import WsnState
+
+
+@dataclass
+class _CascadeState:
+    """Controller-private bookkeeping for one AR process."""
+
+    target: GridCoord
+    supplier: GridCoord
+    #: Unit direction (dx, dy) of the last hop, used to prefer straight cascades.
+    direction: Optional[Tuple[int, int]] = None
+    stalls: int = 0
+
+
+class LocalizedReplacementController(MobilityController):
+    """The AR baseline: 1-hop, unsynchronised cascading replacement.
+
+    Parameters
+    ----------
+    grid:
+        The virtual grid the network lives on.
+    max_hops:
+        Hop budget per process; exceeding it marks the process failed.
+        Defaults to the number of grid cells.
+    stall_limit:
+        Number of rounds a process may be starved (its supplier head busy
+        serving another process) before it gives up.
+    """
+
+    name = "AR"
+
+    def __init__(
+        self,
+        grid: VirtualGrid,
+        max_hops: Optional[int] = None,
+        stall_limit: int = 8,
+    ) -> None:
+        super().__init__()
+        self.grid = grid
+        self.max_hops = max_hops if max_hops is not None else grid.cell_count
+        if self.max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {self.max_hops}")
+        if stall_limit < 1:
+            raise ValueError(f"stall_limit must be >= 1, got {stall_limit}")
+        self.stall_limit = stall_limit
+        self._cascades: Dict[int, _CascadeState] = {}
+        #: Original holes that already triggered their burst of processes.
+        self._announced_holes: Set[GridCoord] = set()
+        #: Vacancies created by cascading moves (owned by exactly one process).
+        self._cascade_vacancies: Set[GridCoord] = set()
+        #: Vacancies left behind by failed processes; never re-announced.
+        self._abandoned: Set[GridCoord] = set()
+
+    # ------------------------------------------------------------------ round
+    def execute_round(
+        self, state: WsnState, rng: random.Random, round_index: int
+    ) -> RoundOutcome:
+        outcome = RoundOutcome(round_index=round_index)
+        vacant_snapshot = set(state.vacant_cells())
+
+        self._announce_new_holes(state, vacant_snapshot, round_index, outcome)
+
+        acted_heads: Set[GridCoord] = set()
+        active_ids = [pid for pid in sorted(self._cascades) if self._processes[pid].is_active]
+        rng.shuffle(active_ids)
+        for process_id in active_ids:
+            self._advance_process(
+                state,
+                rng,
+                round_index,
+                process_id,
+                vacant_snapshot,
+                acted_heads,
+                outcome,
+            )
+        return outcome
+
+    # ------------------------------------------------------------- initiation
+    def _announce_new_holes(
+        self,
+        state: WsnState,
+        vacant_snapshot: Set[GridCoord],
+        round_index: int,
+        outcome: RoundOutcome,
+    ) -> None:
+        """Every occupied neighbour of a fresh hole starts its own process."""
+        for hole in sorted(vacant_snapshot, key=lambda c: c.as_tuple()):
+            if (
+                hole in self._announced_holes
+                or hole in self._cascade_vacancies
+                or hole in self._abandoned
+            ):
+                continue
+            occupied_neighbours = [
+                neighbour
+                for neighbour in self.grid.neighbours(hole)
+                if not state.is_vacant(neighbour)
+            ]
+            if not occupied_neighbours:
+                # Nobody can see the hole yet; it may be announced later once
+                # a neighbouring cell gains a head again.
+                continue
+            self._announced_holes.add(hole)
+            for neighbour in occupied_neighbours:
+                process = self._start_process(
+                    origin_cell=hole, initiator_cell=neighbour, round_index=round_index
+                )
+                self._cascades[process.process_id] = _CascadeState(
+                    target=hole, supplier=neighbour
+                )
+                outcome.processes_started.append(process.process_id)
+
+    # -------------------------------------------------------------- cascading
+    def _advance_process(
+        self,
+        state: WsnState,
+        rng: random.Random,
+        round_index: int,
+        process_id: int,
+        vacant_snapshot: Set[GridCoord],
+        acted_heads: Set[GridCoord],
+        outcome: RoundOutcome,
+    ) -> None:
+        process = self._processes[process_id]
+        cascade = self._cascades[process_id]
+        target = cascade.target
+
+        if target not in vacant_snapshot and not state.is_vacant(target):
+            # Another process filled the target in a *previous* round; this
+            # process aborts.  It is redundant work typical of AR, but it did
+            # not fail to find a spare, so it does not count against the
+            # success rate.
+            process.mark_converged(round_index)
+            outcome.processes_converged.append(process_id)
+            return
+
+        supplier = cascade.supplier
+        if state.is_vacant(supplier):
+            # The supplier lost its nodes (e.g. another cascade pulled them
+            # away): with only 1-hop knowledge the process cannot recover.
+            self._fail(process, cascade, round_index, outcome)
+            return
+        if supplier in acted_heads:
+            cascade.stalls += 1
+            if cascade.stalls > self.stall_limit:
+                self._fail(process, cascade, round_index, outcome)
+            return
+
+        head = state.head_of(supplier)
+        assert head is not None
+        acted_heads.add(supplier)
+        spare = self._nearest_spare(state, supplier, target)
+        if spare is not None:
+            record = state.move_node(
+                spare.node_id, target, rng, round_index, process_id=process_id
+            )
+            process.record_move(record)
+            outcome.moves.append(record)
+            self._cascade_vacancies.discard(target)
+            process.mark_converged(round_index)
+            outcome.processes_converged.append(process_id)
+            return
+
+        # No spare: the head itself moves into the target, vacating its cell.
+        process.notifications_sent += 1
+        outcome.messages_sent += 1
+        head.charge_message_cost()
+        record = state.move_node(
+            head.node_id, target, rng, round_index, process_id=process_id
+        )
+        process.record_move(record)
+        outcome.moves.append(record)
+        self._cascade_vacancies.discard(target)
+
+        if process.move_count >= self.max_hops:
+            cascade.target = supplier
+            self._fail(process, cascade, round_index, outcome)
+            return
+
+        next_supplier, direction = self._choose_next_supplier(
+            state, supplier, came_from=target, direction=cascade.direction, rng=rng
+        )
+        cascade.target = supplier
+        self._cascade_vacancies.add(supplier)
+        if next_supplier is None:
+            # Dead end: every usable neighbour is vacant or would backtrack.
+            self._fail(process, cascade, round_index, outcome)
+            return
+        cascade.supplier = next_supplier
+        cascade.direction = direction
+        cascade.stalls = 0
+
+    def _choose_next_supplier(
+        self,
+        state: WsnState,
+        vacated: GridCoord,
+        came_from: GridCoord,
+        direction: Optional[Tuple[int, int]],
+        rng: random.Random,
+    ) -> Tuple[Optional[GridCoord], Optional[Tuple[int, int]]]:
+        """Pick the neighbouring cell the cascade pulls from next.
+
+        Prefers continuing in a straight line (the snake keeps its heading),
+        never backtracks into the cell it just filled, and only considers
+        occupied cells because a vacant cell has no head to ask.
+        """
+        incoming = (came_from.x - vacated.x, came_from.y - vacated.y)
+        straight = GridCoord(vacated.x - incoming[0], vacated.y - incoming[1])
+        candidates = [
+            neighbour
+            for neighbour in self.grid.neighbours(vacated)
+            if neighbour != came_from and not state.is_vacant(neighbour)
+        ]
+        if not candidates:
+            return None, None
+        if straight in candidates:
+            chosen = straight
+        else:
+            chosen = candidates[rng.randrange(len(candidates))]
+        new_direction = (vacated.x - chosen.x, vacated.y - chosen.y)
+        return chosen, new_direction
+
+    @staticmethod
+    def _nearest_spare(
+        state: WsnState, cell: GridCoord, target: GridCoord
+    ) -> Optional[SensorNode]:
+        spares = state.spares_of(cell)
+        if not spares:
+            return None
+        target_center = state.grid.cell_center(target)
+        return min(
+            spares,
+            key=lambda node: (node.position.distance_to(target_center), node.node_id),
+        )
+
+    def _fail(
+        self,
+        process: ReplacementProcess,
+        cascade: _CascadeState,
+        round_index: int,
+        outcome: RoundOutcome,
+    ) -> None:
+        process.mark_failed(round_index)
+        outcome.processes_failed.append(process.process_id)
+        self._cascade_vacancies.discard(cascade.target)
+        self._abandoned.add(cascade.target)
+
+    # -------------------------------------------------------------- lifecycle
+    def finalize(self, state: WsnState, round_index: int) -> None:
+        """Mark still-active processes as failed when the engine stops."""
+        for process in self._processes.values():
+            if process.is_active:
+                process.mark_failed(round_index)
+
+    @property
+    def redundant_processes(self) -> int:
+        """Processes that converged without moving anything (aborted as redundant)."""
+        return sum(
+            1 for p in self._processes.values() if p.converged and p.move_count == 0
+        )

@@ -1,0 +1,206 @@
+"""Controller interface and replacement-process bookkeeping.
+
+Both the paper's SR scheme and the AR baseline repair holes through
+*replacement processes*: a process starts when some head decides to fill a
+vacant cell, every cascading move belongs to the process that caused it, and
+the process ends either by *converging* (a spare node was found, so the last
+move did not create a new vacancy) or by *failing* (the cascade dead-ended or
+exceeded its hop budget).  The per-process records defined here are what the
+experiments of Section 5 aggregate: number of processes initiated, number of
+node movements, total moving distance, and success rate.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.grid.virtual_grid import GridCoord
+from repro.network.mobility import MoveRecord
+from repro.network.state import WsnState
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a replacement process."""
+
+    ACTIVE = "active"
+    CONVERGED = "converged"
+    FAILED = "failed"
+
+
+@dataclass
+class ReplacementProcess:
+    """One replacement process serving one detected hole."""
+
+    process_id: int
+    origin_cell: GridCoord
+    initiator_cell: GridCoord
+    started_round: int
+    status: ProcessStatus = ProcessStatus.ACTIVE
+    finished_round: Optional[int] = None
+    moves: List[MoveRecord] = field(default_factory=list)
+    notifications_sent: int = 0
+
+    @property
+    def move_count(self) -> int:
+        """Number of node movements performed by this process so far."""
+        return len(self.moves)
+
+    @property
+    def total_distance(self) -> float:
+        """Total moving distance (metres) of this process so far."""
+        return sum(move.distance for move in self.moves)
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is ProcessStatus.ACTIVE
+
+    @property
+    def converged(self) -> bool:
+        return self.status is ProcessStatus.CONVERGED
+
+    @property
+    def failed(self) -> bool:
+        return self.status is ProcessStatus.FAILED
+
+    def record_move(self, move: MoveRecord) -> None:
+        self.moves.append(move)
+
+    def mark_converged(self, round_index: int) -> None:
+        self.status = ProcessStatus.CONVERGED
+        self.finished_round = round_index
+
+    def mark_failed(self, round_index: int) -> None:
+        self.status = ProcessStatus.FAILED
+        self.finished_round = round_index
+
+
+@dataclass
+class RoundOutcome:
+    """What happened during one synchronous round."""
+
+    round_index: int
+    moves: List[MoveRecord] = field(default_factory=list)
+    processes_started: List[int] = field(default_factory=list)
+    processes_converged: List[int] = field(default_factory=list)
+    processes_failed: List[int] = field(default_factory=list)
+    messages_sent: int = 0
+
+    @property
+    def move_count(self) -> int:
+        return len(self.moves)
+
+    @property
+    def total_distance(self) -> float:
+        return sum(move.distance for move in self.moves)
+
+    @property
+    def made_progress(self) -> bool:
+        """Whether anything at all happened in the round."""
+        return bool(
+            self.moves
+            or self.processes_started
+            or self.processes_converged
+            or self.processes_failed
+            or self.messages_sent
+        )
+
+
+class MobilityController(abc.ABC):
+    """A distributed hole-recovery scheme driven by the round-based engine.
+
+    A controller is bound to one :class:`~repro.network.state.WsnState` and
+    mutates it (through :meth:`WsnState.move_node`) as its heads act.  The
+    engine calls :meth:`execute_round` once per synchronous round.
+    """
+
+    #: Human-readable scheme name used in metric records and plots.
+    name: str = "controller"
+
+    def __init__(self) -> None:
+        self._processes: Dict[int, ReplacementProcess] = {}
+        self._next_process_id = 0
+
+    # ----------------------------------------------------------------- rounds
+    @abc.abstractmethod
+    def execute_round(
+        self, state: WsnState, rng: random.Random, round_index: int
+    ) -> RoundOutcome:
+        """Run one synchronous round of the scheme on ``state``."""
+
+    def is_quiescent(self, state: WsnState) -> bool:
+        """Whether the controller has no pending work of its own.
+
+        The engine combines this with the hole count and the per-round
+        progress flag to decide when to stop.
+        """
+        return not any(process.is_active for process in self._processes.values())
+
+    # -------------------------------------------------------------- processes
+    def processes(self) -> List[ReplacementProcess]:
+        """All replacement processes ever started, in creation order."""
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    def active_processes(self) -> List[ReplacementProcess]:
+        return [p for p in self.processes() if p.is_active]
+
+    def process(self, process_id: int) -> ReplacementProcess:
+        return self._processes[process_id]
+
+    def _start_process(
+        self, origin_cell: GridCoord, initiator_cell: GridCoord, round_index: int
+    ) -> ReplacementProcess:
+        process = ReplacementProcess(
+            process_id=self._next_process_id,
+            origin_cell=origin_cell,
+            initiator_cell=initiator_cell,
+            started_round=round_index,
+        )
+        self._processes[process.process_id] = process
+        self._next_process_id += 1
+        return process
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def total_processes(self) -> int:
+        return len(self._processes)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(p.move_count for p in self._processes.values())
+
+    @property
+    def total_distance(self) -> float:
+        return sum(p.total_distance for p in self._processes.values())
+
+    @property
+    def converged_processes(self) -> int:
+        return sum(1 for p in self._processes.values() if p.converged)
+
+    @property
+    def failed_processes(self) -> int:
+        return sum(1 for p in self._processes.values() if p.failed)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of finished-or-active processes that converged (0..1).
+
+        Matches the paper's Figure 6(b): the percentage of initiated
+        replacement processes that approach a spare node and converge.
+        Processes still active when the simulation stops count as failures,
+        because they did not converge within the allotted rounds.
+        """
+        if not self._processes:
+            return 1.0
+        return self.converged_processes / len(self._processes)
+
+    def describe(self) -> str:
+        """One-line summary used by examples and debug output."""
+        return (
+            f"{self.name}: processes={self.total_processes} "
+            f"(converged={self.converged_processes}, failed={self.failed_processes}), "
+            f"moves={self.total_moves}, distance={self.total_distance:.1f} m"
+        )

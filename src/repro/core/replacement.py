@@ -1,0 +1,223 @@
+"""SR: the Hamilton-cycle-synchronised snake-like cascading replacement.
+
+This is the paper's contribution (Algorithm 1, extended by Algorithm 2 for
+the dual-path construction).  Every head monitors its successor cell along
+the directed Hamilton cycle.  When the successor becomes vacant:
+
+1. the head (node ``u``) is the *only* initiator for that vacancy — the
+   synchronisation provided by the directed cycle guarantees one and only one
+   replacement process per hole;
+2. ``u`` sends one of its spare nodes into the vacant cell if it has one, and
+   the process converges;
+3. otherwise ``u`` itself moves into the vacant cell, notifies the head of
+   its preceding grid, and the cascade continues from there in the next
+   round — the snake-like cascading movement.
+
+The controller is fully round-based: notifications sent in round ``t`` are
+acted upon in round ``t + 1``, exactly as the paper's synchronisation model
+assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.hamilton import HamiltonCycle
+from repro.core.protocol import MobilityController, ReplacementProcess, RoundOutcome
+from repro.grid.virtual_grid import GridCoord
+from repro.network.node import SensorNode
+from repro.network.state import WsnState
+
+
+class HamiltonReplacementController(MobilityController):
+    """The SR scheme of the paper (Algorithms 1 and 2).
+
+    Parameters
+    ----------
+    cycle:
+        The directed Hamilton structure threading the grid (serpentine cycle
+        or the dual-path construction for odd-by-odd grids).
+    max_hops:
+        Safety bound on the number of cascading moves a single process may
+        perform.  Defaults to the replacement path length ``L``; a converged
+        process can never legitimately need more than ``L`` hops because the
+        path visits every potential supplier cell exactly once.
+    spare_selection:
+        ``"nearest"`` (default) sends the spare closest to the vacant cell's
+        centre; ``"random"`` picks a uniformly random spare, matching the
+        loosest reading of the paper.
+    activation_probability:
+        Probability that a responsible head acts in a given round.  The
+        default of 1.0 is the paper's round-based model; values below 1.0
+        model the asynchronous relaxation mentioned in Section 2 ("all the
+        schemes … can be extended easily to an asynchronous system"): heads
+        wake up at independent random times, so a vacancy may wait a few
+        rounds before its initiator reacts, but the recovery guarantee is
+        unchanged.
+    """
+
+    name = "SR"
+
+    def __init__(
+        self,
+        cycle: HamiltonCycle,
+        max_hops: Optional[int] = None,
+        spare_selection: str = "nearest",
+        activation_probability: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if spare_selection not in ("nearest", "random"):
+            raise ValueError(
+                f"spare_selection must be 'nearest' or 'random', got {spare_selection!r}"
+            )
+        if not 0.0 < activation_probability <= 1.0:
+            raise ValueError(
+                f"activation_probability must be in (0, 1], got {activation_probability}"
+            )
+        self.cycle = cycle
+        self.max_hops = max_hops if max_hops is not None else cycle.replacement_path_length
+        if self.max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {self.max_hops}")
+        self.spare_selection = spare_selection
+        self.activation_probability = activation_probability
+        #: Vacant cells currently being served, mapped to their process id.
+        self._vacancy_process: Dict[GridCoord, int] = {}
+
+    # ------------------------------------------------------------------ round
+    def execute_round(
+        self, state: WsnState, rng: random.Random, round_index: int
+    ) -> RoundOutcome:
+        outcome = RoundOutcome(round_index=round_index)
+        # Snapshot the holes visible at the start of the round.  New vacancies
+        # created by this round's moves are only observable next round.
+        vacancies = state.vacant_cells()
+        ordered = sorted(vacancies, key=self.cycle.index_of)
+        acted_heads: set = set()
+
+        for vacant in ordered:
+            process_id = self._vacancy_process.get(vacant)
+            process = self._processes.get(process_id) if process_id is not None else None
+            if process is not None and not process.is_active:
+                # Served by a process that already finished (e.g. failed):
+                # leave the vacancy alone; the scheme has no spare to offer.
+                continue
+
+            origin = process.origin_cell if process is not None else vacant
+            initiator = self.cycle.initiator_for(
+                vacant, has_spare=state.has_spare, origin=origin
+            )
+            if initiator is None:
+                continue
+            if initiator in acted_heads or state.is_vacant(initiator):
+                # The responsible head is busy this round or does not exist
+                # yet (its own cell is also vacant); retry next round.
+                continue
+            if (
+                self.activation_probability < 1.0
+                and rng.random() >= self.activation_probability
+            ):
+                # Asynchronous relaxation: this head did not wake up this round.
+                continue
+            head = state.head_of(initiator)
+            assert head is not None
+
+            if process is None:
+                process = self._start_process(
+                    origin_cell=vacant, initiator_cell=initiator, round_index=round_index
+                )
+                self._vacancy_process[vacant] = process.process_id
+                outcome.processes_started.append(process.process_id)
+
+            self._serve_vacancy(
+                state, rng, round_index, vacant, initiator, head, process, outcome
+            )
+            acted_heads.add(initiator)
+        return outcome
+
+    # ------------------------------------------------------------------ steps
+    def _serve_vacancy(
+        self,
+        state: WsnState,
+        rng: random.Random,
+        round_index: int,
+        vacant: GridCoord,
+        initiator: GridCoord,
+        head: SensorNode,
+        process: ReplacementProcess,
+        outcome: RoundOutcome,
+    ) -> None:
+        """One hop of Algorithm 1 for a single vacancy."""
+        spare = self._select_spare(state, initiator, vacant, rng)
+        if spare is not None:
+            # Step 2: a spare exists — it fills the hole and the process converges.
+            record = state.move_node(
+                spare.node_id, vacant, rng, round_index, process_id=process.process_id
+            )
+            process.record_move(record)
+            outcome.moves.append(record)
+            del self._vacancy_process[vacant]
+            process.mark_converged(round_index)
+            outcome.processes_converged.append(process.process_id)
+            return
+
+        # Step 3: no spare — the head notifies its own initiator and moves
+        # itself into the vacant cell, leaving its cell vacant for the
+        # cascading replacement.
+        process.notifications_sent += 1
+        outcome.messages_sent += 1
+        head.charge_message_cost()
+        record = state.move_node(
+            head.node_id, vacant, rng, round_index, process_id=process.process_id
+        )
+        process.record_move(record)
+        outcome.moves.append(record)
+        del self._vacancy_process[vacant]
+        if process.move_count >= self.max_hops:
+            # The cascade visited every candidate supplier without finding a
+            # spare: there is no spare left to find, so the process fails and
+            # the remaining vacancy is left in place.
+            self._vacancy_process[initiator] = process.process_id
+            process.mark_failed(round_index)
+            outcome.processes_failed.append(process.process_id)
+            return
+        self._vacancy_process[initiator] = process.process_id
+
+    def _select_spare(
+        self,
+        state: WsnState,
+        cell: GridCoord,
+        vacant: GridCoord,
+        rng: random.Random,
+    ) -> Optional[SensorNode]:
+        spares = state.spares_of(cell)
+        if not spares:
+            return None
+        if self.spare_selection == "random":
+            return spares[rng.randrange(len(spares))]
+        target_center = state.grid.cell_center(vacant)
+        return min(
+            spares,
+            key=lambda node: (node.position.distance_to(target_center), node.node_id),
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    def is_quiescent(self, state: WsnState) -> bool:
+        """The controller is idle when no active process still has a vacancy to serve."""
+        return not any(
+            self._processes[pid].is_active for pid in self._vacancy_process.values()
+        ) and super().is_quiescent(state)
+
+    def finalize(self, state: WsnState, round_index: int) -> None:
+        """Mark processes that never converged as failed (engine shutdown hook)."""
+        for process in self._processes.values():
+            if process.is_active:
+                process.mark_failed(round_index)
+
+    def pending_vacancies(self) -> List[GridCoord]:
+        """Vacant cells currently owned by an active process (for inspection)."""
+        return [
+            cell
+            for cell, pid in self._vacancy_process.items()
+            if self._processes[pid].is_active
+        ]

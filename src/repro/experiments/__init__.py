@@ -1,0 +1,53 @@
+"""Experiment drivers that regenerate the paper's evaluation figures.
+
+Each public function corresponds to one figure of the paper (see DESIGN.md
+for the experiment index).  The analytical figures (3 and 5) are pure
+computations; the experimental figures (6, 7, 8) run the SR and AR schemes on
+the Section-5 workload and report the same series the paper plots.
+"""
+
+from repro.experiments.results import ExperimentResult, average_dicts
+from repro.experiments.plotting import ascii_chart, format_table
+from repro.experiments.report import (
+    ShapeCheck,
+    find_crossover,
+    render_markdown_report,
+    section5_shape_checks,
+)
+from repro.experiments.sweep import SCHEME_FACTORIES, make_controller, run_comparison
+from repro.experiments.figures import (
+    PAPER_SPARE_VALUES,
+    QUICK_SPARE_VALUES,
+    figure1_hamilton_layout,
+    figure3_expected_movements,
+    figure4_dual_path_layout,
+    figure5_distance_estimates,
+    figure6_processes_and_success,
+    figure7_node_movements,
+    figure8_total_distance,
+    run_section5_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "average_dicts",
+    "ascii_chart",
+    "format_table",
+    "ShapeCheck",
+    "find_crossover",
+    "section5_shape_checks",
+    "render_markdown_report",
+    "SCHEME_FACTORIES",
+    "make_controller",
+    "run_comparison",
+    "PAPER_SPARE_VALUES",
+    "QUICK_SPARE_VALUES",
+    "figure1_hamilton_layout",
+    "figure3_expected_movements",
+    "figure4_dual_path_layout",
+    "figure5_distance_estimates",
+    "figure6_processes_and_success",
+    "figure7_node_movements",
+    "figure8_total_distance",
+    "run_section5_experiment",
+]

@@ -1,0 +1,201 @@
+"""Shape analysis and report generation for reproduced figures.
+
+Reproducing a paper on different hardware, seeds, and a reconstructed
+baseline means absolute numbers never match exactly; what must match is the
+*shape* of each curve: who wins, by roughly what factor, and where crossovers
+fall.  This module turns those informal statements into small, testable
+checks and can render a Markdown summary of a comparison sweep — the same
+kind of table EXPERIMENTS.md contains, generated straight from a fresh run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one qualitative claim checked against measured data."""
+
+    claim: str
+    holds: bool
+    details: str
+
+    def __str__(self) -> str:
+        status = "OK " if self.holds else "FAIL"
+        return f"[{status}] {claim_ellipsis(self.claim)} — {self.details}"
+
+
+def claim_ellipsis(text: str, limit: int = 72) -> str:
+    """Shorten a claim string for single-line rendering."""
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def series_ratio(
+    result: ExperimentResult, x: str, numerator: str, denominator: str
+) -> List[Tuple[float, float]]:
+    """Pointwise ratio ``numerator / denominator`` along ``x`` (skipping zero denominators)."""
+    num = dict(result.series(x, numerator))
+    den = dict(result.series(x, denominator))
+    ratios = []
+    for key in sorted(num):
+        if key in den and den[key] != 0:
+            ratios.append((key, num[key] / den[key]))
+    return ratios
+
+
+def find_crossover(
+    result: ExperimentResult, x: str, first: str, second: str
+) -> Optional[float]:
+    """Smallest ``x`` from which ``first`` stays at or below ``second``.
+
+    Returns ``None`` when ``first`` never drops below ``second`` within the
+    sweep.  Points where both series are zero (no holes to repair) are
+    ignored because neither scheme does any work there.
+    """
+    a = dict(result.series(x, first))
+    b = dict(result.series(x, second))
+    xs = sorted(set(a) & set(b))
+    candidate = None
+    for key in reversed(xs):
+        if a[key] == 0 and b[key] == 0:
+            continue
+        if a[key] <= b[key]:
+            candidate = key
+        else:
+            break
+    return candidate
+
+
+def check_monotone_decreasing(
+    result: ExperimentResult, x: str, y: str, tolerance: float = 0.15
+) -> ShapeCheck:
+    """Check that ``y`` broadly decreases along ``x`` (allowing small noise)."""
+    series = result.series(x, y)
+    violations = [
+        (x0, x1)
+        for (x0, y0), (x1, y1) in zip(series, series[1:])
+        if y1 > y0 * (1 + tolerance) and y1 - y0 > 1.0
+    ]
+    return ShapeCheck(
+        claim=f"{y} decreases as {x} grows",
+        holds=not violations,
+        details="monotone within tolerance" if not violations else f"violations at {violations}",
+    )
+
+
+def check_dominates(
+    result: ExperimentResult, x: str, smaller: str, larger: str, factor: float = 1.0
+) -> ShapeCheck:
+    """Check ``smaller * factor <= larger`` at every point of the sweep."""
+    small = dict(result.series(x, smaller))
+    large = dict(result.series(x, larger))
+    bad = [
+        key
+        for key in sorted(set(small) & set(large))
+        if small[key] * factor > large[key] and (small[key] or large[key])
+    ]
+    return ShapeCheck(
+        claim=f"{smaller} stays below {larger} (factor {factor:g})",
+        holds=not bad,
+        details="holds at every point" if not bad else f"violated at {x} = {bad}",
+    )
+
+
+def check_tracks(
+    result: ExperimentResult,
+    x: str,
+    measured: str,
+    predicted: str,
+    rel_band: float = 1.0,
+) -> ShapeCheck:
+    """Check the measured series stays within ``(1 ± rel_band)`` of the prediction."""
+    ratios = series_ratio(result, x, measured, predicted)
+    bad = [
+        (key, round(ratio, 2))
+        for key, ratio in ratios
+        if not (1.0 / (1.0 + rel_band) <= ratio <= 1.0 + rel_band)
+    ]
+    return ShapeCheck(
+        claim=f"{measured} tracks {predicted} within a factor of {1 + rel_band:g}",
+        holds=not bad,
+        details="within band everywhere" if not bad else f"outside band at {bad}",
+    )
+
+
+def section5_shape_checks(experiment: ExperimentResult) -> List[ShapeCheck]:
+    """The paper's Section-5 claims, evaluated against a comparison sweep.
+
+    The input is the table produced by
+    :func:`repro.experiments.figures.run_section5_experiment`.
+    """
+    checks = [
+        check_dominates(experiment, "N", "SR_processes", "AR_processes", factor=1.9),
+        ShapeCheck(
+            claim="SR success rate is 100% for every N",
+            holds=all(
+                float(row["SR_success_rate"]) == 1.0
+                for row in experiment.rows
+                if float(row["holes"]) > 0
+            ),
+            details="success_rate == 1.0 wherever holes existed",
+        ),
+        check_monotone_decreasing(experiment, "N", "SR_moves"),
+        check_monotone_decreasing(experiment, "N", "SR_distance"),
+        check_tracks(experiment, "N", "SR_moves", "SR_moves_analytic", rel_band=1.5),
+    ]
+    crossover = find_crossover(experiment, "N", "SR_moves", "AR_moves")
+    checks.append(
+        ShapeCheck(
+            claim="SR becomes cheaper than AR past a moderate spare surplus",
+            holds=crossover is not None,
+            details=f"crossover at N ≈ {crossover}" if crossover is not None else "no crossover found",
+        )
+    )
+    return checks
+
+
+def render_markdown_report(
+    experiment: ExperimentResult,
+    title: str = "Section 5 reproduction report",
+    checks: Optional[Sequence[ShapeCheck]] = None,
+) -> str:
+    """Render a Markdown report: the measured table plus the shape-check outcomes."""
+    checks = list(checks) if checks is not None else section5_shape_checks(experiment)
+    lines = [f"# {title}", ""]
+    lines.append(f"*{experiment.name}* — {experiment.description}")
+    lines.append("")
+    lines.append("## Measured series")
+    lines.append("")
+    header_columns = [
+        "N",
+        "holes",
+        "SR_processes",
+        "AR_processes",
+        "SR_moves",
+        "AR_moves",
+        "SR_distance",
+        "AR_distance",
+    ]
+    available = [column for column in header_columns if column in experiment.columns]
+    lines.append("| " + " | ".join(available) + " |")
+    lines.append("|" + "---|" * len(available))
+    for row in experiment.rows:
+        cells = []
+        for column in available:
+            value = row.get(column, "")
+            cells.append(f"{value:.1f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append("## Shape checks (the paper's qualitative claims)")
+    lines.append("")
+    for check in checks:
+        status = "✅" if check.holds else "❌"
+        lines.append(f"- {status} {check.claim} — {check.details}")
+    lines.append("")
+    passed = sum(1 for check in checks if check.holds)
+    lines.append(f"**{passed} / {len(checks)} shape checks hold.**")
+    return "\n".join(lines)

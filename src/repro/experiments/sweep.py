@@ -1,0 +1,137 @@
+"""Scheme comparison sweeps over the paper's Section-5 workload.
+
+The experimental figures (6, 7, 8) all come from the same sweep: for every
+value of ``N`` (the spare surplus), build the scenario, run each scheme on an
+identical copy of the initial network, and record its
+:class:`~repro.sim.metrics.RunMetrics`.  :func:`run_comparison` implements
+that sweep once so the three figures (and the extension benchmarks) can share
+the data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.smart_scan import SmartScanController
+from repro.baselines.virtual_force import VirtualForceController
+from repro.core.baseline_ar import LocalizedReplacementController
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.protocol import MobilityController
+from repro.core.replacement import HamiltonReplacementController
+from repro.core.shortcut import ShortcutReplacementController
+from repro.experiments.results import ExperimentResult, average_dicts
+from repro.network.state import WsnState
+from repro.sim.engine import run_recovery
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import derive_rng, spawn_seeds
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+#: Factories for the schemes known to the sweep runner.  Each factory takes
+#: the network state and returns a fresh controller bound to its grid.
+SCHEME_FACTORIES: Dict[str, Callable[[WsnState], MobilityController]] = {
+    "SR": lambda state: HamiltonReplacementController(build_hamilton_cycle(state.grid)),
+    "SR-shortcut": lambda state: ShortcutReplacementController(
+        build_hamilton_cycle(state.grid)
+    ),
+    "AR": lambda state: LocalizedReplacementController(state.grid),
+    "VF": lambda state: VirtualForceController(),
+    "SMART": lambda state: SmartScanController(),
+}
+
+
+def make_controller(scheme: str, state: WsnState) -> MobilityController:
+    """Instantiate a controller by scheme name for the given network."""
+    try:
+        factory = SCHEME_FACTORIES[scheme]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {scheme!r}; available: {sorted(SCHEME_FACTORIES)}"
+        ) from None
+    return factory(state)
+
+
+def run_single(
+    state: WsnState,
+    scheme: str,
+    rng: random.Random,
+    max_rounds: Optional[int] = None,
+) -> RunMetrics:
+    """Run one scheme on (a clone of) ``state`` and return its metrics."""
+    working_state = state.clone()
+    controller = make_controller(scheme, working_state)
+    result = run_recovery(working_state, controller, rng, max_rounds=max_rounds)
+    return result.metrics
+
+
+def run_comparison(
+    config: ScenarioConfig,
+    spare_values: Sequence[int],
+    schemes: Sequence[str] = ("SR", "AR"),
+    trials: int = 1,
+    max_rounds: Optional[int] = None,
+) -> ExperimentResult:
+    """Sweep ``N`` over ``spare_values`` and run every scheme on identical scenarios.
+
+    For each ``N`` and each trial, one scenario is built (deployment +
+    thinning) and **cloned** for every scheme, so all schemes repair exactly
+    the same holes with exactly the same spare placement — the comparison the
+    paper performs.  Metrics are averaged over trials.
+
+    The resulting table has one row per ``N`` with the columns::
+
+        N, holes, spares, enabled,
+        <scheme>_processes, <scheme>_success_rate, <scheme>_moves,
+        <scheme>_distance, <scheme>_failed, <scheme>_final_holes   (per scheme)
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    unknown = [scheme for scheme in schemes if scheme not in SCHEME_FACTORIES]
+    if unknown:
+        raise KeyError(f"unknown schemes {unknown}; available: {sorted(SCHEME_FACTORIES)}")
+
+    columns: List[str] = ["N", "holes", "spares", "enabled"]
+    for scheme in schemes:
+        columns.extend(
+            [
+                f"{scheme}_processes",
+                f"{scheme}_success_rate",
+                f"{scheme}_moves",
+                f"{scheme}_distance",
+                f"{scheme}_failed",
+                f"{scheme}_final_holes",
+            ]
+        )
+    result = ExperimentResult(
+        name=f"scheme comparison on {config.columns}x{config.rows} grid",
+        columns=columns,
+        description=f"schemes={list(schemes)}, trials={trials}, deployed={config.deployed_count}",
+    )
+
+    for spare_surplus in spare_values:
+        trial_rows: List[Dict[str, float]] = []
+        for trial_seed in spawn_seeds(config.seed, trials, label=f"N={spare_surplus}"):
+            scenario = config.with_spare_surplus(spare_surplus).with_seed(trial_seed)
+            state = build_scenario_state(scenario)
+            row: Dict[str, float] = {
+                "N": spare_surplus,
+                "holes": state.hole_count,
+                "spares": state.spare_count,
+                "enabled": state.enabled_count,
+            }
+            for scheme in schemes:
+                metrics = run_single(
+                    state,
+                    scheme,
+                    derive_rng(trial_seed, f"{scheme}-controller"),
+                    max_rounds=max_rounds,
+                )
+                row[f"{scheme}_processes"] = metrics.processes_initiated
+                row[f"{scheme}_success_rate"] = metrics.success_rate
+                row[f"{scheme}_moves"] = metrics.total_moves
+                row[f"{scheme}_distance"] = metrics.total_distance
+                row[f"{scheme}_failed"] = metrics.processes_failed
+                row[f"{scheme}_final_holes"] = metrics.final_holes
+            trial_rows.append(row)
+        result.add_row(**average_dicts(trial_rows))
+    return result

@@ -1,0 +1,46 @@
+"""Virtual grid substrate (GAF-style partition of the surveillance area).
+
+The paper partitions the surveillance area into an ``n x m`` grid of square
+``r x r`` cells (the virtual grid model of Xu & Heidemann, MOBICOM'01).  This
+subpackage provides the planar geometry primitives, the grid partition, head
+election, and coverage/connectivity evaluation used by the mobility-control
+algorithms in :mod:`repro.core`.
+"""
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.grid.head_election import (
+    HeadElectionPolicy,
+    elect_head,
+    highest_energy_policy,
+    lowest_id_policy,
+    nearest_to_center_policy,
+)
+from repro.grid.coverage import (
+    cell_coverage_fraction,
+    coverage_report,
+    sampled_area_coverage,
+)
+from repro.grid.connectivity import (
+    head_connectivity_graph,
+    is_head_network_connected,
+    node_connectivity_graph,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "GridCoord",
+    "VirtualGrid",
+    "HeadElectionPolicy",
+    "elect_head",
+    "lowest_id_policy",
+    "highest_energy_policy",
+    "nearest_to_center_policy",
+    "cell_coverage_fraction",
+    "sampled_area_coverage",
+    "coverage_report",
+    "head_connectivity_graph",
+    "node_connectivity_graph",
+    "is_head_network_connected",
+]

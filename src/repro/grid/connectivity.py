@@ -1,0 +1,71 @@
+"""Connectivity evaluation of the head overlay and of the whole network.
+
+The GAF argument the paper builds on: with ``R = sqrt(5) * r``, a head can
+talk to any node in the four neighbouring cells, so if *every* cell has a
+head the head overlay is connected and relays traffic for the whole network.
+These helpers build the corresponding communication graphs with networkx so
+tests and examples can verify the connectivity claim before and after hole
+recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.network.radio import UnitDiskRadio
+
+
+def node_connectivity_graph(state, radio: Optional[UnitDiskRadio] = None) -> nx.Graph:
+    """Unit-disk communication graph over all enabled nodes.
+
+    When ``radio`` is omitted, the minimum GAF-compatible range
+    ``R = sqrt(5) * r`` for the state's grid is used.
+    """
+    if radio is None:
+        radio = UnitDiskRadio(state.grid.required_communication_range)
+    graph = nx.Graph()
+    enabled = state.enabled_nodes()
+    graph.add_nodes_from(node.node_id for node in enabled)
+    graph.add_edges_from(radio.link_pairs(enabled))
+    return graph
+
+
+def head_connectivity_graph(state, radio: Optional[UnitDiskRadio] = None) -> nx.Graph:
+    """Unit-disk communication graph restricted to the current grid heads."""
+    if radio is None:
+        radio = UnitDiskRadio(state.grid.required_communication_range)
+    heads = state.head_nodes()
+    graph = nx.Graph()
+    graph.add_nodes_from(node.node_id for node in heads)
+    graph.add_edges_from(radio.link_pairs(heads))
+    return graph
+
+
+def is_head_network_connected(state, radio: Optional[UnitDiskRadio] = None) -> bool:
+    """Whether the head overlay forms a single connected component.
+
+    An overlay with no heads at all (fully failed network) is reported as not
+    connected; a single head is trivially connected.
+    """
+    graph = head_connectivity_graph(state, radio)
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_connected(graph)
+
+
+def is_node_network_connected(state, radio: Optional[UnitDiskRadio] = None) -> bool:
+    """Whether all enabled nodes form a single connected component."""
+    graph = node_connectivity_graph(state, radio)
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_connected(graph)
+
+
+def connected_component_count(state, radio: Optional[UnitDiskRadio] = None) -> int:
+    """Number of connected components among enabled nodes."""
+    graph = node_connectivity_graph(state, radio)
+    if graph.number_of_nodes() == 0:
+        return 0
+    return nx.number_connected_components(graph)

@@ -1,0 +1,331 @@
+"""The virtual grid model (GAF partition) from Section 2 of the paper.
+
+The surveillance area is divided into an ``n x m`` system of square cells of
+side ``r``.  A cell is addressed by its relative location ``(x, y)`` with
+``0 <= x <= n - 1`` and ``0 <= y <= m - 1`` exactly as in Figure 1(a) of the
+paper.  Two cells are *neighbouring grids* when their addresses differ by one
+in exactly one dimension; cells not on the edge therefore have four
+neighbours (north, south, east, west).
+
+With communication range ``R = sqrt(5) * r`` every enabled node can talk to
+any node in a neighbouring cell, which is the property the grid-head overlay
+relies on for connectivity (Xu & Heidemann, MOBICOM'01).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.grid.geometry import BoundingBox, Point
+
+#: Ratio between the communication range and the cell side that guarantees
+#: neighbouring-cell communication in the GAF model: ``R = sqrt(5) * r``.
+GAF_RANGE_FACTOR = math.sqrt(5.0)
+
+#: Ratio required to also reach *diagonal* neighbouring cells
+#: (``R = 2 * sqrt(2) * r``); the paper explicitly does not require it.
+DIAGONAL_RANGE_FACTOR = 2.0 * math.sqrt(2.0)
+
+
+@dataclass(frozen=True, order=True)
+class GridCoord:
+    """Address of a cell in the virtual grid: ``(x, y)`` as in the paper."""
+
+    x: int
+    y: int
+
+    def manhattan_distance_to(self, other: "GridCoord") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def is_neighbour_of(self, other: "GridCoord") -> bool:
+        """Whether the two cells are neighbouring grids (share a full edge)."""
+        return self.manhattan_distance_to(other) == 1
+
+    def north(self) -> "GridCoord":
+        return GridCoord(self.x, self.y + 1)
+
+    def south(self) -> "GridCoord":
+        return GridCoord(self.x, self.y - 1)
+
+    def east(self) -> "GridCoord":
+        return GridCoord(self.x + 1, self.y)
+
+    def west(self) -> "GridCoord":
+        return GridCoord(self.x - 1, self.y)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+
+
+def cell_side_for_range(communication_range: float) -> float:
+    """Cell side ``r`` for a given communication range ``R`` (``r = R / sqrt(5)``).
+
+    This is the value the paper uses in its experiments: for ``R = 10 m`` the
+    cells are ``4.4721 m x 4.4721 m``.
+    """
+    if communication_range <= 0:
+        raise ValueError("communication_range must be positive")
+    return communication_range / GAF_RANGE_FACTOR
+
+
+def required_range_for_cell(cell_size: float) -> float:
+    """Minimum communication range ``R`` for cell side ``r`` (``R = sqrt(5) * r``)."""
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    return GAF_RANGE_FACTOR * cell_size
+
+
+class VirtualGrid:
+    """An ``n x m`` virtual grid of square ``r x r`` cells.
+
+    Parameters
+    ----------
+    columns:
+        Number of cells along the X axis (``n`` in the paper).
+    rows:
+        Number of cells along the Y axis (``m`` in the paper).
+    cell_size:
+        Side length ``r`` of every cell, in metres.
+    origin:
+        World coordinates of the south-west corner of cell ``(0, 0)``.
+    """
+
+    def __init__(
+        self,
+        columns: int,
+        rows: int,
+        cell_size: float,
+        origin: Point = Point(0.0, 0.0),
+    ) -> None:
+        if columns < 1 or rows < 1:
+            raise ValueError(f"grid must be at least 1x1, got {columns}x{rows}")
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._columns = int(columns)
+        self._rows = int(rows)
+        self._cell_size = float(cell_size)
+        self._origin = origin
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def columns(self) -> int:
+        """Number of cells along X (``n``)."""
+        return self._columns
+
+    @property
+    def rows(self) -> int:
+        """Number of cells along Y (``m``)."""
+        return self._rows
+
+    @property
+    def cell_size(self) -> float:
+        """Cell side ``r`` in metres."""
+        return self._cell_size
+
+    @property
+    def origin(self) -> Point:
+        return self._origin
+
+    @property
+    def cell_count(self) -> int:
+        return self._columns * self._rows
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """World-coordinate bounding box of the whole surveillance area."""
+        return BoundingBox(
+            self._origin.x,
+            self._origin.y,
+            self._origin.x + self._columns * self._cell_size,
+            self._origin.y + self._rows * self._cell_size,
+        )
+
+    @property
+    def required_communication_range(self) -> float:
+        """``R = sqrt(5) * r`` — the range assumed by the paper's overlay."""
+        return required_range_for_cell(self._cell_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"VirtualGrid(columns={self._columns}, rows={self._rows}, "
+            f"cell_size={self._cell_size})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VirtualGrid):
+            return NotImplemented
+        return (
+            self._columns == other._columns
+            and self._rows == other._rows
+            and self._cell_size == other._cell_size
+            and self._origin == other._origin
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._columns, self._rows, self._cell_size, self._origin))
+
+    # ------------------------------------------------------------- membership
+    def contains_coord(self, coord: GridCoord) -> bool:
+        """Whether ``coord`` addresses a cell of this grid."""
+        return 0 <= coord.x < self._columns and 0 <= coord.y < self._rows
+
+    def validate_coord(self, coord: GridCoord) -> GridCoord:
+        """Return ``coord`` unchanged, raising :class:`ValueError` if out of range."""
+        if not self.contains_coord(coord):
+            raise ValueError(
+                f"cell {coord.as_tuple()} outside {self._columns}x{self._rows} grid"
+            )
+        return coord
+
+    def is_edge_cell(self, coord: GridCoord) -> bool:
+        """Whether the cell lies on the boundary of the grid system."""
+        self.validate_coord(coord)
+        return (
+            coord.x == 0
+            or coord.y == 0
+            or coord.x == self._columns - 1
+            or coord.y == self._rows - 1
+        )
+
+    def is_corner_cell(self, coord: GridCoord) -> bool:
+        self.validate_coord(coord)
+        return coord.x in (0, self._columns - 1) and coord.y in (0, self._rows - 1)
+
+    # ------------------------------------------------------------ enumeration
+    def all_coords(self) -> Iterator[GridCoord]:
+        """Iterate over every cell address in row-major order (y outer, x inner)."""
+        for y in range(self._rows):
+            for x in range(self._columns):
+                yield GridCoord(x, y)
+
+    def neighbours(self, coord: GridCoord) -> List[GridCoord]:
+        """The 4-neighbourhood of ``coord`` restricted to cells inside the grid.
+
+        Order is north, south, east, west (matching the paper's enumeration);
+        edge cells simply have fewer neighbours.
+        """
+        self.validate_coord(coord)
+        candidates = (coord.north(), coord.south(), coord.east(), coord.west())
+        return [c for c in candidates if self.contains_coord(c)]
+
+    def diagonal_neighbours(self, coord: GridCoord) -> List[GridCoord]:
+        """The up-to-four diagonal neighbours (not used for monitoring by the paper)."""
+        self.validate_coord(coord)
+        candidates = (
+            GridCoord(coord.x + 1, coord.y + 1),
+            GridCoord(coord.x + 1, coord.y - 1),
+            GridCoord(coord.x - 1, coord.y + 1),
+            GridCoord(coord.x - 1, coord.y - 1),
+        )
+        return [c for c in candidates if self.contains_coord(c)]
+
+    # ----------------------------------------------------- coordinate mapping
+    def cell_of(self, point: Point) -> GridCoord:
+        """The cell containing ``point``.
+
+        Points exactly on the east/north boundary of the area are assigned to
+        the last column/row so that deployments over the closed area never
+        fall outside the grid.
+        """
+        if not self.bounds.contains(point, tolerance=1e-9):
+            raise ValueError(f"point {point.as_tuple()} outside surveillance area")
+        x = int((point.x - self._origin.x) / self._cell_size)
+        y = int((point.y - self._origin.y) / self._cell_size)
+        x = min(max(x, 0), self._columns - 1)
+        y = min(max(y, 0), self._rows - 1)
+        return GridCoord(x, y)
+
+    def cell_bounds(self, coord: GridCoord) -> BoundingBox:
+        """World-coordinate bounding box of cell ``coord``."""
+        self.validate_coord(coord)
+        min_x = self._origin.x + coord.x * self._cell_size
+        min_y = self._origin.y + coord.y * self._cell_size
+        return BoundingBox(min_x, min_y, min_x + self._cell_size, min_y + self._cell_size)
+
+    def cell_center(self, coord: GridCoord) -> Point:
+        """World-coordinate centre of cell ``coord``."""
+        return self.cell_bounds(coord).center
+
+    def central_area(self, coord: GridCoord) -> BoundingBox:
+        """The central ``r/2 x r/2`` area of the cell.
+
+        Replacement moves target a random point in this area (Section 4,
+        "Implementation Issue"): the per-hop moving distance is then at least
+        ``r/4``, at most ``sqrt(58)/4 * r`` and roughly ``1.08 * r`` on
+        average.
+        """
+        return self.cell_bounds(coord).shrunk(self._cell_size / 4.0)
+
+    def center_distance(self, a: GridCoord, b: GridCoord) -> float:
+        """Euclidean distance between the centres of two cells."""
+        return self.cell_center(a).distance_to(self.cell_center(b))
+
+    # ------------------------------------------------------------- utilities
+    def coords_in_box(self, box: BoundingBox) -> List[GridCoord]:
+        """All cells whose area intersects ``box`` (used by region failures)."""
+        result = []
+        for coord in self.all_coords():
+            if self.cell_bounds(coord).intersects(box):
+                result.append(coord)
+        return result
+
+    def row(self, y: int) -> List[GridCoord]:
+        """Cells of row ``y`` ordered by increasing ``x``."""
+        if not 0 <= y < self._rows:
+            raise ValueError(f"row {y} outside grid with {self._rows} rows")
+        return [GridCoord(x, y) for x in range(self._columns)]
+
+    def column(self, x: int) -> List[GridCoord]:
+        """Cells of column ``x`` ordered by increasing ``y``."""
+        if not 0 <= x < self._columns:
+            raise ValueError(f"column {x} outside grid with {self._columns} columns")
+        return [GridCoord(x, y) for y in range(self._rows)]
+
+    @classmethod
+    def for_area(
+        cls,
+        width: float,
+        height: float,
+        communication_range: float,
+        origin: Point = Point(0.0, 0.0),
+    ) -> "VirtualGrid":
+        """Build the grid covering a ``width x height`` area for a given radio range.
+
+        The cell side is ``r = R / sqrt(5)`` and the number of cells is the
+        ceiling of the area dimensions divided by ``r``, so the grid always
+        covers the whole requested area (the last row/column may extend past
+        it, as in any practical deployment).
+        """
+        r = cell_side_for_range(communication_range)
+        columns = max(1, math.ceil(width / r - 1e-9))
+        rows = max(1, math.ceil(height / r - 1e-9))
+        return cls(columns=columns, rows=rows, cell_size=r, origin=origin)
+
+
+def random_point_in_box(box: BoundingBox, rng) -> Point:
+    """Uniformly random point inside ``box`` drawn from ``rng`` (a ``random.Random``)."""
+    return Point(
+        box.min_x + rng.random() * box.width,
+        box.min_y + rng.random() * box.height,
+    )
+
+
+def move_distance_bounds(cell_size: float) -> Tuple[float, float]:
+    """(min, max) single-hop moving distance when targeting the central area.
+
+    Matches the bounds stated in Section 4: minimum ``r/4`` (node sitting on
+    the shared edge, target on the near edge of the central area) and maximum
+    ``sqrt(58)/4 * r`` (node in the far corner, target in the far corner of
+    the central area).
+    """
+    return cell_size / 4.0, math.sqrt(58.0) / 4.0 * cell_size
+
+
+#: Average per-hop moving distance used by the paper's estimates (Section 4).
+AVERAGE_MOVE_FACTOR = 1.08

@@ -1,0 +1,58 @@
+"""Wireless-sensor-network substrate: nodes, radio, deployment, failures.
+
+This subpackage models the physical network the paper's mobility-control
+algorithms operate on: sensor nodes with positions and energy, a unit-disk
+radio, deployment generators, failure/attack injection, the movement model,
+and the mutable network state (:class:`repro.network.state.WsnState`) that
+tracks which node occupies which virtual-grid cell and which node is the grid
+head.
+"""
+
+from repro.network.node import NodeRole, NodeState, SensorNode
+from repro.network.radio import UnitDiskRadio
+from repro.network.deployment import (
+    deploy_grid_heads,
+    deploy_per_cell,
+    deploy_uniform,
+    deploy_clustered,
+)
+from repro.network.failures import (
+    BatteryDepletionFailure,
+    CompositeFailure,
+    FailureModel,
+    RandomFailure,
+    RegionJammingFailure,
+    TargetedCellFailure,
+    ThinningToEnabledCount,
+)
+from repro.network.energy import EnergySummary, energy_summary, recovery_energy_cost
+from repro.network.mobility import MoveRecord, MovementModel
+from repro.network.messages import Mailbox, Message, MessageKind
+from repro.network.state import WsnState
+
+__all__ = [
+    "NodeRole",
+    "NodeState",
+    "SensorNode",
+    "UnitDiskRadio",
+    "deploy_uniform",
+    "deploy_per_cell",
+    "deploy_grid_heads",
+    "deploy_clustered",
+    "FailureModel",
+    "RandomFailure",
+    "RegionJammingFailure",
+    "TargetedCellFailure",
+    "BatteryDepletionFailure",
+    "ThinningToEnabledCount",
+    "CompositeFailure",
+    "EnergySummary",
+    "energy_summary",
+    "recovery_energy_cost",
+    "MoveRecord",
+    "MovementModel",
+    "Message",
+    "MessageKind",
+    "Mailbox",
+    "WsnState",
+]

@@ -1,0 +1,159 @@
+"""Deployment generators.
+
+The paper's experiments deploy a large number of sensors uniformly at random
+over the surveillance area (Section 5: 5000 sensors over a 16x16 grid of
+4.4721 m cells).  Besides the uniform deployment this module offers a few
+other generators that are useful for unit tests, examples, and the extension
+baselines: exact per-cell deployment, head-only deployment, and clustered
+(hot-spot) deployment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import GridCoord, VirtualGrid, random_point_in_box
+from repro.network.node import SensorNode
+
+
+def _next_id(start_id: int, offset: int) -> int:
+    return start_id + offset
+
+
+def deploy_uniform(
+    grid: VirtualGrid,
+    count: int,
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[SensorNode]:
+    """Deploy ``count`` nodes uniformly at random over the surveillance area.
+
+    This is the workload of Section 5 of the paper.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    bounds = grid.bounds
+    return [
+        SensorNode(
+            node_id=_next_id(start_id, i),
+            position=random_point_in_box(bounds, rng),
+        )
+        for i in range(count)
+    ]
+
+
+def deploy_per_cell(
+    grid: VirtualGrid,
+    nodes_per_cell: int,
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[SensorNode]:
+    """Deploy exactly ``nodes_per_cell`` nodes uniformly inside every cell.
+
+    Useful for tests that need a deterministic occupancy pattern, and for the
+    comparison with the grid-balancing baselines which assume a minimum
+    density per cell.
+    """
+    if nodes_per_cell < 0:
+        raise ValueError(f"nodes_per_cell must be non-negative, got {nodes_per_cell}")
+    nodes: List[SensorNode] = []
+    next_id = start_id
+    for coord in grid.all_coords():
+        cell_bounds = grid.cell_bounds(coord)
+        for _ in range(nodes_per_cell):
+            nodes.append(
+                SensorNode(node_id=next_id, position=random_point_in_box(cell_bounds, rng))
+            )
+            next_id += 1
+    return nodes
+
+
+def deploy_grid_heads(
+    grid: VirtualGrid,
+    rng: Optional[random.Random] = None,
+    start_id: int = 0,
+    jitter: bool = False,
+) -> List[SensorNode]:
+    """Deploy exactly one node per cell, at the centre (or jittered around it).
+
+    Produces a fully covered network with zero spares — the minimal
+    configuration in which every cell has a head.
+    """
+    nodes: List[SensorNode] = []
+    for offset, coord in enumerate(grid.all_coords()):
+        position = grid.cell_center(coord)
+        if jitter:
+            if rng is None:
+                raise ValueError("jitter=True requires an rng")
+            position = random_point_in_box(grid.central_area(coord), rng)
+        nodes.append(SensorNode(node_id=_next_id(start_id, offset), position=position))
+    return nodes
+
+
+def deploy_per_cell_counts(
+    grid: VirtualGrid,
+    counts: Dict[GridCoord, int],
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[SensorNode]:
+    """Deploy an explicit number of nodes in each listed cell.
+
+    Cells not present in ``counts`` receive no node, which makes it easy to
+    construct scenarios with a prescribed pattern of holes and spares.
+    """
+    nodes: List[SensorNode] = []
+    next_id = start_id
+    for coord, count in sorted(counts.items(), key=lambda item: item[0].as_tuple()):
+        grid.validate_coord(coord)
+        if count < 0:
+            raise ValueError(f"count for cell {coord.as_tuple()} must be non-negative")
+        cell_bounds = grid.cell_bounds(coord)
+        for _ in range(count):
+            nodes.append(
+                SensorNode(node_id=next_id, position=random_point_in_box(cell_bounds, rng))
+            )
+            next_id += 1
+    return nodes
+
+
+def deploy_clustered(
+    grid: VirtualGrid,
+    count: int,
+    cluster_centers: Sequence[Point],
+    spread: float,
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[SensorNode]:
+    """Deploy nodes around hot-spot cluster centres (Gaussian spread).
+
+    Models the non-uniform densities produced by air-dropped deployments or
+    by attacks that herd nodes together; positions are clamped to the
+    surveillance area.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not cluster_centers:
+        raise ValueError("deploy_clustered requires at least one cluster centre")
+    if spread < 0:
+        raise ValueError(f"spread must be non-negative, got {spread}")
+    bounds = grid.bounds
+    nodes: List[SensorNode] = []
+    for i in range(count):
+        center = cluster_centers[rng.randrange(len(cluster_centers))]
+        raw = Point(rng.gauss(center.x, spread), rng.gauss(center.y, spread))
+        nodes.append(SensorNode(node_id=_next_id(start_id, i), position=bounds.clamp(raw)))
+    return nodes
+
+
+def occupancy_by_cell(
+    grid: VirtualGrid, nodes: Sequence[SensorNode], enabled_only: bool = True
+) -> Dict[GridCoord, int]:
+    """Count nodes per cell (all cells present, zero-filled)."""
+    counts: Dict[GridCoord, int] = {coord: 0 for coord in grid.all_coords()}
+    for node in nodes:
+        if enabled_only and not node.is_enabled:
+            continue
+        counts[grid.cell_of(node.position)] += 1
+    return counts

@@ -1,0 +1,102 @@
+"""Energy accounting helpers (extension).
+
+Movement dominates the energy budget of mobile sensors, which is exactly why
+the paper optimises the number of movements and the total moving distance.
+These helpers summarise the battery state of a network and translate a
+recovery run's cost metrics into consumed energy, so the examples and the
+extended benchmarks can present the comparison in joules as well as metres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.network.node import (
+    DEFAULT_BATTERY_CAPACITY,
+    MESSAGE_COST,
+    MOVE_COST_PER_METER,
+    NodeRole,
+)
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Aggregate battery statistics of the enabled nodes of a network."""
+
+    enabled_nodes: int
+    total_energy: float
+    mean_energy: float
+    min_energy: float
+    max_energy: float
+    depleted_nodes: int
+    head_mean_energy: float
+    spare_mean_energy: float
+
+    @property
+    def total_consumed(self) -> float:
+        """Energy consumed so far, assuming every node started at full capacity."""
+        return self.enabled_nodes * DEFAULT_BATTERY_CAPACITY - self.total_energy
+
+    @property
+    def imbalance(self) -> float:
+        """Spread between the fullest and the emptiest enabled node (joules)."""
+        return self.max_energy - self.min_energy
+
+
+def energy_summary(state) -> EnergySummary:
+    """Summarise the remaining energy of all enabled nodes in ``state``."""
+    enabled = state.enabled_nodes()
+    if not enabled:
+        return EnergySummary(
+            enabled_nodes=0,
+            total_energy=0.0,
+            mean_energy=0.0,
+            min_energy=0.0,
+            max_energy=0.0,
+            depleted_nodes=0,
+            head_mean_energy=0.0,
+            spare_mean_energy=0.0,
+        )
+    energies = [node.energy for node in enabled]
+    heads = [node.energy for node in enabled if node.role is NodeRole.HEAD]
+    spares = [node.energy for node in enabled if node.role is NodeRole.SPARE]
+    return EnergySummary(
+        enabled_nodes=len(enabled),
+        total_energy=sum(energies),
+        mean_energy=sum(energies) / len(energies),
+        min_energy=min(energies),
+        max_energy=max(energies),
+        depleted_nodes=sum(1 for node in enabled if node.is_battery_depleted),
+        head_mean_energy=sum(heads) / len(heads) if heads else 0.0,
+        spare_mean_energy=sum(spares) / len(spares) if spares else 0.0,
+    )
+
+
+def recovery_energy_cost(
+    total_distance: float,
+    messages_sent: int = 0,
+    move_cost_per_meter: float = MOVE_COST_PER_METER,
+    message_cost: float = MESSAGE_COST,
+) -> float:
+    """Energy (joules) a recovery run consumed, from its cost metrics.
+
+    The model is the same linear one the node class uses: moving costs
+    ``move_cost_per_meter`` joules per metre and each control message costs
+    ``message_cost`` joules — so the comparison between schemes in joules has
+    exactly the same shape as the paper's moving-distance comparison, shifted
+    only by the (tiny) messaging term.
+    """
+    if total_distance < 0:
+        raise ValueError(f"total_distance must be non-negative, got {total_distance}")
+    if messages_sent < 0:
+        raise ValueError(f"messages_sent must be non-negative, got {messages_sent}")
+    return total_distance * move_cost_per_meter + messages_sent * message_cost
+
+
+def per_scheme_energy_costs(metrics_by_scheme: Dict[str, "RunMetrics"]) -> Dict[str, float]:
+    """Translate a mapping of scheme name -> RunMetrics into joules consumed."""
+    return {
+        scheme: recovery_energy_cost(metrics.total_distance, metrics.messages_sent)
+        for scheme, metrics in metrics_by_scheme.items()
+    }

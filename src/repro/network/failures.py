@@ -1,0 +1,184 @@
+"""Failure and attack injection.
+
+Holes appear in the surveillance area when sensors fail, run out of battery,
+or are disabled because they misbehave (Section 1 of the paper; jamming
+attacks in particular can depopulate whole regions).  Failure models operate
+on a :class:`repro.network.state.WsnState` and return the ids of the nodes
+they disabled, so the caller can log them or re-run head election.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import GridCoord
+from repro.network.node import NodeState
+
+
+class FailureModel(abc.ABC):
+    """A way of disabling nodes in a network state."""
+
+    @abc.abstractmethod
+    def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable nodes in ``state`` and return the ids of the disabled nodes."""
+
+    def __call__(self, state, rng: random.Random) -> List[int]:
+        return self.apply(state, rng)
+
+
+@dataclass
+class RandomFailure(FailureModel):
+    """Disable each enabled node independently with probability ``probability``.
+
+    Alternatively an absolute ``count`` of nodes to disable can be given.
+    """
+
+    probability: Optional[float] = None
+    count: Optional[int] = None
+    reason: NodeState = NodeState.FAILED
+
+    def __post_init__(self) -> None:
+        if (self.probability is None) == (self.count is None):
+            raise ValueError("specify exactly one of probability or count")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.count is not None and self.count < 0:
+            raise ValueError(f"count must be non-negative, got {self.count}")
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        enabled_ids = [node.node_id for node in state.enabled_nodes()]
+        if self.probability is not None:
+            victims = [node_id for node_id in enabled_ids if rng.random() < self.probability]
+        else:
+            count = min(self.count or 0, len(enabled_ids))
+            victims = rng.sample(enabled_ids, count)
+        for node_id in victims:
+            state.disable_node(node_id, reason=self.reason)
+        return victims
+
+
+@dataclass
+class ThinningToEnabledCount(FailureModel):
+    """Disable random nodes until exactly ``target_enabled`` nodes remain enabled.
+
+    This reproduces the workload of Section 5: deploy 5000 sensors, then
+    disable nodes at random so that ``N + m*n`` enabled nodes remain, where
+    ``N`` is the paper's x-axis ("number of spare nodes left in networks").
+    """
+
+    target_enabled: int
+    reason: NodeState = NodeState.FAILED
+
+    def __post_init__(self) -> None:
+        if self.target_enabled < 0:
+            raise ValueError(f"target_enabled must be non-negative, got {self.target_enabled}")
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        enabled_ids = [node.node_id for node in state.enabled_nodes()]
+        excess = len(enabled_ids) - self.target_enabled
+        if excess <= 0:
+            return []
+        victims = rng.sample(enabled_ids, excess)
+        for node_id in victims:
+            state.disable_node(node_id, reason=self.reason)
+        return victims
+
+
+@dataclass
+class RegionJammingFailure(FailureModel):
+    """Disable every enabled node inside a jammed region.
+
+    The region is either a bounding box or a disk (centre + radius).  This is
+    the "attacker causes the nodes to … deplete their battery power, which
+    might reduce node density in certain areas" scenario from Section 1.
+    """
+
+    box: Optional[BoundingBox] = None
+    center: Optional[Point] = None
+    radius: Optional[float] = None
+    reason: NodeState = NodeState.FAILED
+
+    def __post_init__(self) -> None:
+        disk_given = self.center is not None and self.radius is not None
+        if (self.box is None) == (not disk_given):
+            # Either both unspecified or both specified.
+            if self.box is None:
+                raise ValueError("specify either box or (center and radius)")
+            raise ValueError("specify only one of box or (center and radius)")
+        if self.radius is not None and self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    def _is_inside(self, position: Point) -> bool:
+        if self.box is not None:
+            return self.box.contains(position)
+        assert self.center is not None and self.radius is not None
+        return position.distance_to(self.center) <= self.radius
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        victims = [
+            node.node_id
+            for node in state.enabled_nodes()
+            if self._is_inside(node.position)
+        ]
+        for node_id in victims:
+            state.disable_node(node_id, reason=self.reason)
+        return victims
+
+
+@dataclass
+class TargetedCellFailure(FailureModel):
+    """Disable every enabled node in an explicit set of cells.
+
+    Creates deterministic holes, which is the most convenient way to unit-test
+    the replacement controllers.
+    """
+
+    cells: Sequence[GridCoord]
+    reason: NodeState = NodeState.MISBEHAVING
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        victims: List[int] = []
+        target_cells = set(self.cells)
+        for coord in target_cells:
+            state.grid.validate_coord(coord)
+        for node in state.enabled_nodes():
+            if state.grid.cell_of(node.position) in target_cells:
+                victims.append(node.node_id)
+        for node_id in victims:
+            state.disable_node(node_id, reason=self.reason)
+        return victims
+
+
+@dataclass
+class BatteryDepletionFailure(FailureModel):
+    """Disable enabled nodes whose remaining energy is at or below ``threshold``."""
+
+    threshold: float = 0.0
+    reason: NodeState = NodeState.FAILED
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        victims = [
+            node.node_id
+            for node in state.enabled_nodes()
+            if node.energy <= self.threshold
+        ]
+        for node_id in victims:
+            state.disable_node(node_id, reason=self.reason)
+        return victims
+
+
+@dataclass
+class CompositeFailure(FailureModel):
+    """Apply several failure models in sequence."""
+
+    models: Sequence[FailureModel] = field(default_factory=list)
+
+    def apply(self, state, rng: random.Random) -> List[int]:
+        victims: List[int] = []
+        for model in self.models:
+            victims.extend(model.apply(state, rng))
+        return victims

@@ -1,0 +1,101 @@
+"""Control messages exchanged by grid heads.
+
+The only control traffic in the paper's scheme is the *replacement
+notification* a head sends to the head of its preceding grid when it is about
+to vacate its own cell (Algorithm 1, step 3a).  Messages sent in round ``t``
+are received in round ``t + 1`` ("wait until the corresponding head w
+receives this notification"), which the :class:`Mailbox` models explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.grid.virtual_grid import GridCoord
+
+
+class MessageKind(enum.Enum):
+    """Kinds of control messages used by the mobility-control schemes."""
+
+    #: "I am about to move into my vacant successor; please replace me."
+    REPLACEMENT_REQUEST = "replacement_request"
+    #: Acknowledgement that a replacement was dispatched (extension; the
+    #: paper's round-based scheme does not strictly need it).
+    REPLACEMENT_ACK = "replacement_ack"
+    #: Periodic head heartbeat used by the monitoring extension.
+    HEARTBEAT = "heartbeat"
+
+
+_message_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A control message addressed to the head of a destination cell."""
+
+    kind: MessageKind
+    source_cell: GridCoord
+    target_cell: GridCoord
+    sent_round: int
+    process_id: Optional[int] = None
+    payload: Optional[dict] = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+
+class Mailbox:
+    """Round-delayed delivery of control messages.
+
+    Messages submitted during round ``t`` become visible to the destination
+    cell's head when :meth:`deliver` is called for round ``t + 1``.  This is
+    the synchronisation assumption of Algorithm 1.
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: List[Message] = []
+        self._sent_count = 0
+        self._delivered_count = 0
+
+    @property
+    def sent_count(self) -> int:
+        """Total number of messages ever submitted."""
+        return self._sent_count
+
+    @property
+    def delivered_count(self) -> int:
+        """Total number of messages ever delivered."""
+        return self._delivered_count
+
+    @property
+    def pending_count(self) -> int:
+        """Messages submitted but not yet delivered."""
+        return len(self._in_flight)
+
+    def send(self, message: Message) -> None:
+        """Submit a message for delivery in the next round."""
+        self._in_flight.append(message)
+        self._sent_count += 1
+
+    def deliver(self, current_round: int) -> Dict[GridCoord, List[Message]]:
+        """Return (and consume) messages whose one-round latency has elapsed.
+
+        A message sent in round ``t`` is delivered when ``current_round > t``.
+        The result maps destination cells to the messages addressed to them,
+        in submission order.
+        """
+        ready: Dict[GridCoord, List[Message]] = {}
+        still_in_flight: List[Message] = []
+        for message in self._in_flight:
+            if current_round > message.sent_round:
+                ready.setdefault(message.target_cell, []).append(message)
+                self._delivered_count += 1
+            else:
+                still_in_flight.append(message)
+        self._in_flight = still_in_flight
+        return ready
+
+    def clear(self) -> None:
+        """Drop all in-flight messages (used when a scenario is reset)."""
+        self._in_flight.clear()

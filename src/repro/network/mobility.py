@@ -1,0 +1,112 @@
+"""Movement model for replacement moves.
+
+Section 4 ("Implementation Issue") specifies how a node moves during a
+replacement: it goes straight to a point in the *central area* of the target
+cell.  For an ``r x r`` cell the central area is the middle ``r/2 x r/2``
+square, so a single hop covers at least ``r/4`` and at most ``sqrt(58)/4 * r``
+metres; the paper uses ``1.08 * r`` as the average per-hop distance in its
+estimates (Figure 5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.grid.geometry import Point
+from repro.grid.virtual_grid import (
+    AVERAGE_MOVE_FACTOR,
+    GridCoord,
+    VirtualGrid,
+    move_distance_bounds,
+    random_point_in_box,
+)
+from repro.network.node import SensorNode
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One completed relocation of a node between two cells."""
+
+    node_id: int
+    source_cell: GridCoord
+    target_cell: GridCoord
+    source_position: Point
+    target_position: Point
+    distance: float
+    round_index: int
+    process_id: Optional[int] = None
+
+    @property
+    def is_cascading(self) -> bool:
+        """Whether the move vacated its source cell as part of a cascade."""
+        return self.process_id is not None
+
+
+class MovementModel:
+    """Chooses target positions and executes replacement moves."""
+
+    def __init__(self, grid: VirtualGrid, target_central_area: bool = True) -> None:
+        self._grid = grid
+        self._target_central_area = target_central_area
+
+    @property
+    def grid(self) -> VirtualGrid:
+        return self._grid
+
+    @property
+    def average_hop_distance(self) -> float:
+        """The paper's average per-hop distance estimate, ``1.08 * r``."""
+        return AVERAGE_MOVE_FACTOR * self._grid.cell_size
+
+    @property
+    def hop_distance_bounds(self) -> tuple:
+        """(min, max) possible per-hop distance for this grid's cell size."""
+        return move_distance_bounds(self._grid.cell_size)
+
+    def choose_target_position(self, target_cell: GridCoord, rng: random.Random) -> Point:
+        """Random point in the central area (or the whole cell) of ``target_cell``.
+
+        "Each movement of node u from one grid to its neighbour will randomly
+        select the destination location in the central area of the target
+        grid" (Section 5).
+        """
+        if self._target_central_area:
+            box = self._grid.central_area(target_cell)
+        else:
+            box = self._grid.cell_bounds(target_cell)
+        return random_point_in_box(box, rng)
+
+    def execute_move(
+        self,
+        node: SensorNode,
+        source_cell: GridCoord,
+        target_cell: GridCoord,
+        rng: random.Random,
+        round_index: int,
+        process_id: Optional[int] = None,
+        target_position: Optional[Point] = None,
+    ) -> MoveRecord:
+        """Move ``node`` from ``source_cell`` into ``target_cell``.
+
+        The caller is responsible for keeping the cell-membership index of the
+        network state consistent (see :meth:`repro.network.state.WsnState.move_node`,
+        which wraps this method).
+        """
+        self._grid.validate_coord(source_cell)
+        self._grid.validate_coord(target_cell)
+        source_position = node.position
+        if target_position is None:
+            target_position = self.choose_target_position(target_cell, rng)
+        distance = node.relocate(target_position)
+        return MoveRecord(
+            node_id=node.node_id,
+            source_cell=source_cell,
+            target_cell=target_cell,
+            source_position=source_position,
+            target_position=target_position,
+            distance=distance,
+            round_index=round_index,
+            process_id=process_id,
+        )

@@ -1,0 +1,165 @@
+"""Sensor node model.
+
+A node is a small battery-powered device with a position, a radio, and a
+working status.  Following the paper, nodes that have failed or misbehave are
+*disabled* and excluded from the collaboration; the remaining *enabled* nodes
+constitute the WSN.  Within each virtual-grid cell one enabled node is
+elected *grid head* and the others are *spare* nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.grid.geometry import Point
+
+
+class NodeState(enum.Enum):
+    """Working status of a sensor node."""
+
+    ENABLED = "enabled"
+    FAILED = "failed"
+    MISBEHAVING = "misbehaving"
+
+    @property
+    def is_enabled(self) -> bool:
+        return self is NodeState.ENABLED
+
+
+class NodeRole(enum.Enum):
+    """Role of an enabled node inside its virtual-grid cell."""
+
+    HEAD = "head"
+    SPARE = "spare"
+    UNASSIGNED = "unassigned"
+
+
+#: Default battery capacity in joules.  The exact value is irrelevant to the
+#: paper's experiments; it only matters for the battery-depletion failure
+#: model and the energy accounting extension.
+DEFAULT_BATTERY_CAPACITY = 100.0
+
+#: Energy cost per metre moved (joules/metre).  Movement dominates the energy
+#: budget of mobile sensors, so message costs are comparatively tiny.
+MOVE_COST_PER_METER = 1.0
+
+#: Energy cost of transmitting one control message (joules).
+MESSAGE_COST = 0.01
+
+
+@dataclass
+class SensorNode:
+    """A single sensor device.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer identifier.
+    position:
+        Current location in the surveillance plane (metres).
+    state:
+        Whether the node is enabled or disabled (failed / misbehaving).
+    role:
+        Head / spare role within its current cell.
+    energy:
+        Remaining battery energy in joules.
+    moved_distance:
+        Total distance moved so far, in metres.
+    move_count:
+        Number of relocation moves performed so far.
+    """
+
+    node_id: int
+    position: Point
+    state: NodeState = NodeState.ENABLED
+    role: NodeRole = NodeRole.UNASSIGNED
+    energy: float = DEFAULT_BATTERY_CAPACITY
+    moved_distance: float = 0.0
+    move_count: int = 0
+    position_history: List[Point] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
+        if self.energy < 0:
+            raise ValueError(f"energy must be non-negative, got {self.energy}")
+
+    # ------------------------------------------------------------------ state
+    @property
+    def is_enabled(self) -> bool:
+        """Whether the node participates in the collaboration."""
+        return self.state.is_enabled
+
+    @property
+    def is_head(self) -> bool:
+        return self.is_enabled and self.role is NodeRole.HEAD
+
+    @property
+    def is_spare(self) -> bool:
+        return self.is_enabled and self.role is NodeRole.SPARE
+
+    def disable(self, reason: NodeState = NodeState.FAILED) -> None:
+        """Remove the node from the collaboration (failure or misbehaviour)."""
+        if reason is NodeState.ENABLED:
+            raise ValueError("disable() requires a non-enabled reason state")
+        self.state = reason
+        self.role = NodeRole.UNASSIGNED
+
+    def enable(self) -> None:
+        """Re-admit the node to the collaboration (e.g. after re-attestation)."""
+        self.state = NodeState.ENABLED
+        self.role = NodeRole.UNASSIGNED
+
+    # ------------------------------------------------------------------- move
+    def relocate(self, target: Point, record_history: bool = False) -> float:
+        """Move the node to ``target`` and account for distance and energy.
+
+        Returns the distance travelled.  Raises :class:`RuntimeError` when the
+        node is disabled — disabled nodes cannot take part in replacement.
+        """
+        if not self.is_enabled:
+            raise RuntimeError(f"node {self.node_id} is disabled and cannot move")
+        distance = self.position.distance_to(target)
+        if record_history:
+            self.position_history.append(self.position)
+        self.position = target
+        self.moved_distance += distance
+        self.move_count += 1
+        self.consume_energy(distance * MOVE_COST_PER_METER)
+        return distance
+
+    # ----------------------------------------------------------------- energy
+    def consume_energy(self, amount: float) -> None:
+        """Subtract ``amount`` joules, clamping at zero."""
+        if amount < 0:
+            raise ValueError(f"energy amount must be non-negative, got {amount}")
+        self.energy = max(0.0, self.energy - amount)
+
+    @property
+    def is_battery_depleted(self) -> bool:
+        return self.energy <= 0.0
+
+    def charge_message_cost(self, messages: int = 1) -> None:
+        """Account for the transmission cost of ``messages`` control messages."""
+        self.consume_energy(MESSAGE_COST * messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SensorNode(id={self.node_id}, pos=({self.position.x:.2f}, "
+            f"{self.position.y:.2f}), state={self.state.value}, role={self.role.value})"
+        )
+
+
+def enabled_only(nodes) -> List[SensorNode]:
+    """Filter an iterable of nodes down to the enabled ones."""
+    return [node for node in nodes if node.is_enabled]
+
+
+def find_node(nodes, node_id: int) -> Optional[SensorNode]:
+    """Linear search for a node by id (convenience for small collections)."""
+    for node in nodes:
+        if node.node_id == node_id:
+            return node
+    return None

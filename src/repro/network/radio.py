@@ -1,0 +1,92 @@
+"""Unit-disk radio model and neighbour discovery.
+
+All nodes share the same communication range ``R`` (Section 2).  Two nodes
+within range are neighbours and directly connected; the paper's overlay needs
+``R = sqrt(5) * r`` so that a grid head can reach every node in the four
+neighbouring cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import Point
+from repro.grid.virtual_grid import GAF_RANGE_FACTOR, cell_side_for_range
+from repro.network.node import SensorNode
+
+
+@dataclass(frozen=True)
+class UnitDiskRadio:
+    """A symmetric unit-disk radio with communication range ``R`` (metres)."""
+
+    communication_range: float
+
+    def __post_init__(self) -> None:
+        if self.communication_range <= 0:
+            raise ValueError(
+                f"communication_range must be positive, got {self.communication_range}"
+            )
+
+    @property
+    def gaf_cell_size(self) -> float:
+        """Cell side ``r = R / sqrt(5)`` that this radio supports."""
+        return cell_side_for_range(self.communication_range)
+
+    def supports_cell_size(self, cell_size: float) -> bool:
+        """Whether ``R >= sqrt(5) * r`` holds for the given cell side."""
+        return self.communication_range + 1e-12 >= GAF_RANGE_FACTOR * cell_size
+
+    def in_range(self, a: Point, b: Point) -> bool:
+        """Whether two positions can communicate directly."""
+        return a.distance_to(b) <= self.communication_range + 1e-12
+
+    def neighbours_of(
+        self, node: SensorNode, nodes: Iterable[SensorNode]
+    ) -> List[SensorNode]:
+        """Enabled nodes within range of ``node`` (excluding itself)."""
+        return [
+            other
+            for other in nodes
+            if other.node_id != node.node_id
+            and other.is_enabled
+            and self.in_range(node.position, other.position)
+        ]
+
+    def adjacency(
+        self, nodes: Sequence[SensorNode]
+    ) -> Dict[int, List[int]]:
+        """Adjacency lists (by node id) over the enabled nodes.
+
+        Uses a vectorised pairwise-distance computation so that building the
+        neighbourhood of a few thousand nodes stays fast.
+        """
+        enabled = [n for n in nodes if n.is_enabled]
+        ids = [n.node_id for n in enabled]
+        if not enabled:
+            return {}
+        coords = np.array([[n.position.x, n.position.y] for n in enabled])
+        # Pairwise squared distances without scipy, chunked implicitly by numpy.
+        diff_x = coords[:, 0][:, None] - coords[:, 0][None, :]
+        diff_y = coords[:, 1][:, None] - coords[:, 1][None, :]
+        dist_sq = diff_x * diff_x + diff_y * diff_y
+        limit_sq = self.communication_range * self.communication_range + 1e-9
+        adjacency: Dict[int, List[int]] = {node_id: [] for node_id in ids}
+        rows, cols = np.nonzero(dist_sq <= limit_sq)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            if i == j:
+                continue
+            adjacency[ids[i]].append(ids[j])
+        return adjacency
+
+    def link_pairs(self, nodes: Sequence[SensorNode]) -> List[Tuple[int, int]]:
+        """Undirected communication links among enabled nodes as ``(id_a, id_b)`` pairs."""
+        adjacency = self.adjacency(nodes)
+        pairs = []
+        for a, neighbours in adjacency.items():
+            for b in neighbours:
+                if a < b:
+                    pairs.append((a, b))
+        return pairs

@@ -1,0 +1,312 @@
+"""Mutable network state: which node is where, and who is head.
+
+:class:`WsnState` is the single source of truth the mobility-control
+algorithms operate on.  It keeps the per-cell membership index and the grid
+head assignment consistent across node failures and replacement moves, and it
+enforces the virtual-grid invariants of Section 2:
+
+* every cell with at least one enabled node has exactly one head,
+* a vacant cell (no enabled node) has no head,
+* the head of a cell is always one of the enabled nodes located in that cell.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.grid.geometry import Point
+from repro.grid.head_election import HeadElectionPolicy, elect_head, lowest_id_policy
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.mobility import MovementModel, MoveRecord
+from repro.network.node import NodeRole, NodeState, SensorNode
+
+
+class WsnState:
+    """The deployed network projected onto the virtual grid.
+
+    Parameters
+    ----------
+    grid:
+        The virtual grid partition of the surveillance area.
+    nodes:
+        All deployed nodes (enabled and disabled).  Node ids must be unique.
+    head_policy:
+        Election policy used whenever a cell needs a (new) head.
+    movement_model:
+        Movement model used by :meth:`move_node`; defaults to central-area
+        targeting on the same grid.
+    """
+
+    def __init__(
+        self,
+        grid: VirtualGrid,
+        nodes: Iterable[SensorNode],
+        head_policy: Optional[HeadElectionPolicy] = None,
+        movement_model: Optional[MovementModel] = None,
+    ) -> None:
+        self.grid = grid
+        self._head_policy = head_policy or lowest_id_policy
+        self.movement_model = movement_model or MovementModel(grid)
+        self._nodes: Dict[int, SensorNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            if not grid.bounds.contains(node.position, tolerance=1e-9):
+                raise ValueError(
+                    f"node {node.node_id} at {node.position.as_tuple()} lies outside "
+                    "the surveillance area"
+                )
+            self._nodes[node.node_id] = node
+        self._cell_members: Dict[GridCoord, Set[int]] = {
+            coord: set() for coord in grid.all_coords()
+        }
+        self._heads: Dict[GridCoord, Optional[int]] = {
+            coord: None for coord in grid.all_coords()
+        }
+        for node in self._nodes.values():
+            if node.is_enabled:
+                self._cell_members[self.grid.cell_of(node.position)].add(node.node_id)
+        self.elect_all_heads()
+
+    # ------------------------------------------------------------------ nodes
+    def node(self, node_id: int) -> SensorNode:
+        """Look up a node by id (:class:`KeyError` if unknown)."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[SensorNode]:
+        """All deployed nodes, enabled or not."""
+        return iter(self._nodes.values())
+
+    def enabled_nodes(self) -> List[SensorNode]:
+        """All nodes currently participating in the collaboration."""
+        return [node for node in self._nodes.values() if node.is_enabled]
+
+    def disabled_nodes(self) -> List[SensorNode]:
+        return [node for node in self._nodes.values() if not node.is_enabled]
+
+    @property
+    def node_count(self) -> int:
+        """Total number of deployed nodes."""
+        return len(self._nodes)
+
+    @property
+    def enabled_count(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.is_enabled)
+
+    # ------------------------------------------------------------------ cells
+    def cell_of_node(self, node_id: int) -> GridCoord:
+        """Cell currently containing the node (by its position)."""
+        return self.grid.cell_of(self.node(node_id).position)
+
+    def members_of(self, coord: GridCoord) -> List[SensorNode]:
+        """Enabled nodes currently located in cell ``coord``."""
+        self.grid.validate_coord(coord)
+        return [self._nodes[node_id] for node_id in sorted(self._cell_members[coord])]
+
+    def member_count(self, coord: GridCoord) -> int:
+        self.grid.validate_coord(coord)
+        return len(self._cell_members[coord])
+
+    def head_of(self, coord: GridCoord) -> Optional[SensorNode]:
+        """The grid head of ``coord``, or ``None`` when the cell is vacant."""
+        self.grid.validate_coord(coord)
+        head_id = self._heads[coord]
+        return None if head_id is None else self._nodes[head_id]
+
+    def spares_of(self, coord: GridCoord) -> List[SensorNode]:
+        """Enabled non-head nodes in ``coord`` (the cell's spare nodes)."""
+        head_id = self._heads[self.grid.validate_coord(coord)]
+        return [
+            node for node in self.members_of(coord) if node.node_id != head_id
+        ]
+
+    def has_spare(self, coord: GridCoord) -> bool:
+        return self.member_count(coord) > 1
+
+    def is_vacant(self, coord: GridCoord) -> bool:
+        """Whether ``coord`` has no enabled node (a hole in the coverage)."""
+        return self.member_count(coord) == 0
+
+    def vacant_cells(self) -> List[GridCoord]:
+        """All holes, in row-major order."""
+        return [coord for coord in self.grid.all_coords() if self.is_vacant(coord)]
+
+    def occupied_cells(self) -> List[GridCoord]:
+        return [coord for coord in self.grid.all_coords() if not self.is_vacant(coord)]
+
+    @property
+    def hole_count(self) -> int:
+        return sum(1 for coord in self.grid.all_coords() if self.is_vacant(coord))
+
+    @property
+    def spare_count(self) -> int:
+        """Total number of spare nodes in the network."""
+        return sum(max(0, len(members) - 1) for members in self._cell_members.values())
+
+    @property
+    def spare_surplus(self) -> int:
+        """Spares minus holes.
+
+        Equals the paper's ``N`` (enabled nodes minus number of cells) whenever
+        the network was thinned to ``N + m*n`` enabled nodes.
+        """
+        return self.spare_count - self.hole_count
+
+    def occupancy(self) -> Dict[GridCoord, int]:
+        """Enabled-node count for every cell."""
+        return {coord: len(members) for coord, members in self._cell_members.items()}
+
+    def spare_counts(self) -> Dict[GridCoord, int]:
+        """Spare-node count for every cell."""
+        return {
+            coord: max(0, len(members) - 1)
+            for coord, members in self._cell_members.items()
+        }
+
+    # ---------------------------------------------------------------- changes
+    def disable_node(self, node_id: int, reason: NodeState = NodeState.FAILED) -> None:
+        """Disable a node and repair the head assignment of its cell."""
+        node = self.node(node_id)
+        if not node.is_enabled:
+            return
+        coord = self.grid.cell_of(node.position)
+        node.disable(reason)
+        self._cell_members[coord].discard(node_id)
+        if self._heads[coord] == node_id:
+            self._heads[coord] = None
+            self._elect_cell_head(coord)
+
+    def enable_node(self, node_id: int) -> None:
+        """Re-admit a previously disabled node (extension; not used by the paper)."""
+        node = self.node(node_id)
+        if node.is_enabled:
+            return
+        node.enable()
+        coord = self.grid.cell_of(node.position)
+        self._cell_members[coord].add(node_id)
+        self._elect_cell_head(coord)
+
+    def move_node(
+        self,
+        node_id: int,
+        target_cell: GridCoord,
+        rng: random.Random,
+        round_index: int = 0,
+        process_id: Optional[int] = None,
+        target_position: Optional[Point] = None,
+        enforce_adjacent: bool = True,
+    ) -> MoveRecord:
+        """Relocate an enabled node into ``target_cell`` and repair head roles.
+
+        Replacement moves in the paper always go to a neighbouring cell; pass
+        ``enforce_adjacent=False`` for extension algorithms (e.g. virtual
+        force) that relocate nodes over longer distances.
+        """
+        node = self.node(node_id)
+        if not node.is_enabled:
+            raise RuntimeError(f"cannot move disabled node {node_id}")
+        source_cell = self.grid.cell_of(node.position)
+        self.grid.validate_coord(target_cell)
+        if enforce_adjacent and not source_cell.is_neighbour_of(target_cell):
+            raise ValueError(
+                f"move from {source_cell.as_tuple()} to {target_cell.as_tuple()} is not "
+                "a neighbouring-cell move"
+            )
+        record = self.movement_model.execute_move(
+            node,
+            source_cell,
+            target_cell,
+            rng,
+            round_index=round_index,
+            process_id=process_id,
+            target_position=target_position,
+        )
+        self._cell_members[source_cell].discard(node_id)
+        self._cell_members[target_cell].add(node_id)
+        if self._heads[source_cell] == node_id:
+            self._heads[source_cell] = None
+            self._elect_cell_head(source_cell)
+        node.role = NodeRole.UNASSIGNED
+        self._elect_cell_head(target_cell)
+        return record
+
+    # ----------------------------------------------------------------- heads
+    def _elect_cell_head(self, coord: GridCoord) -> Optional[SensorNode]:
+        members = self.members_of(coord)
+        current_head_id = self._heads[coord]
+        if current_head_id is not None and any(
+            node.node_id == current_head_id for node in members
+        ):
+            head = self._nodes[current_head_id]
+        else:
+            head = elect_head(members, self.grid.cell_center(coord), self._head_policy)
+            self._heads[coord] = None if head is None else head.node_id
+        for node in members:
+            node.role = NodeRole.SPARE
+        if head is not None:
+            head.role = NodeRole.HEAD
+        return head
+
+    def elect_all_heads(self) -> None:
+        """(Re-)elect the head of every cell from scratch-consistent membership."""
+        for coord in self.grid.all_coords():
+            self._elect_cell_head(coord)
+
+    def rotate_head(self, coord: GridCoord) -> Optional[SensorNode]:
+        """Force a fresh election in ``coord`` (head-rotation extension)."""
+        self.grid.validate_coord(coord)
+        self._heads[coord] = None
+        return self._elect_cell_head(coord)
+
+    def heads(self) -> Dict[GridCoord, Optional[int]]:
+        """Copy of the head assignment (cell -> head node id or ``None``)."""
+        return dict(self._heads)
+
+    def head_nodes(self) -> List[SensorNode]:
+        """All current grid heads."""
+        return [self._nodes[h] for h in self._heads.values() if h is not None]
+
+    # -------------------------------------------------------------- accounting
+    @property
+    def total_moved_distance(self) -> float:
+        """Total distance moved by all nodes since deployment (metres)."""
+        return sum(node.moved_distance for node in self._nodes.values())
+
+    @property
+    def total_move_count(self) -> int:
+        """Total number of relocation moves since deployment."""
+        return sum(node.move_count for node in self._nodes.values())
+
+    # ------------------------------------------------------------------ misc
+    def clone(self) -> "WsnState":
+        """Deep copy of the state, useful for running several schemes on one scenario."""
+        return copy.deepcopy(self)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if any grid-overlay invariant is violated."""
+        for coord in self.grid.all_coords():
+            members = self._cell_members[coord]
+            for node_id in members:
+                node = self._nodes[node_id]
+                assert node.is_enabled, f"disabled node {node_id} indexed in {coord}"
+                assert self.grid.cell_of(node.position) == coord, (
+                    f"node {node_id} indexed in {coord.as_tuple()} but located in "
+                    f"{self.grid.cell_of(node.position).as_tuple()}"
+                )
+            head_id = self._heads[coord]
+            if members:
+                assert head_id is not None, f"occupied cell {coord.as_tuple()} has no head"
+                assert head_id in members, (
+                    f"head {head_id} of cell {coord.as_tuple()} is not one of its members"
+                )
+            else:
+                assert head_id is None, f"vacant cell {coord.as_tuple()} has a head"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WsnState(grid={self.grid.columns}x{self.grid.rows}, "
+            f"nodes={self.node_count}, enabled={self.enabled_count}, "
+            f"holes={self.hole_count}, spares={self.spare_count})"
+        )

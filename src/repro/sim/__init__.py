@@ -1,0 +1,22 @@
+"""Round-based simulation engine, scenarios, metrics, and event tracing."""
+
+from repro.sim.rng import derive_rng, spawn_seeds
+from repro.sim.events import Event, EventKind, EventLog
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.engine import RoundBasedEngine, SimulationResult, run_recovery
+
+__all__ = [
+    "derive_rng",
+    "spawn_seeds",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "ScenarioConfig",
+    "build_scenario_state",
+    "RunMetrics",
+    "collect_metrics",
+    "RoundBasedEngine",
+    "SimulationResult",
+    "run_recovery",
+]

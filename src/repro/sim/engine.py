@@ -1,0 +1,245 @@
+"""Round-based simulation engine.
+
+The paper describes its schemes in a round-based system (Section 2): in every
+round each head observes the cells it monitors, control messages sent in the
+previous round arrive, and replacement moves complete "before the next round
+starts".  :class:`RoundBasedEngine` drives one
+:class:`~repro.core.protocol.MobilityController` through those synchronous
+rounds, optionally injecting additional failures while the simulation runs
+(dynamic holes), and collects the metrics the paper's evaluation reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.protocol import MobilityController, RoundOutcome
+from repro.network.failures import FailureModel
+from repro.network.state import WsnState
+from repro.sim.events import EventKind, EventLog
+from repro.sim.metrics import (
+    InitialSnapshot,
+    RoundSeries,
+    RunMetrics,
+    collect_metrics,
+    snapshot_state,
+)
+
+#: Consecutive no-progress rounds after which the engine declares the run stalled.
+DEFAULT_IDLE_ROUND_LIMIT = 3
+
+
+@dataclass
+class SimulationResult:
+    """Everything a caller may want to know after a recovery run."""
+
+    metrics: RunMetrics
+    rounds_executed: int
+    stalled: bool
+    round_outcomes: List[RoundOutcome] = field(default_factory=list)
+    series: RoundSeries = field(default_factory=RoundSeries)
+    event_log: Optional[EventLog] = None
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run ended with complete coverage (no holes left)."""
+        return self.metrics.coverage_restored
+
+
+class RoundBasedEngine:
+    """Drives a controller through synchronous rounds until the network is repaired.
+
+    Parameters
+    ----------
+    state:
+        The network to repair; it is mutated in place.
+    controller:
+        The hole-recovery scheme under test (SR, AR, or an extension).
+    rng:
+        Random stream used for movement targets and controller tie-breaking.
+    max_rounds:
+        Hard bound on the number of rounds; generous by default because a
+        single cascading replacement needs at most ``m*n`` rounds.
+    failure_schedule:
+        Optional mapping from round index to a
+        :class:`~repro.network.failures.FailureModel` applied at the start of
+        that round — this is how dynamic hole creation is simulated.
+    event_log:
+        Optional :class:`~repro.sim.events.EventLog` receiving a trace of the run.
+    idle_round_limit:
+        Number of consecutive rounds without progress after which the run is
+        declared stalled (holes remain but nobody can act on them).
+    """
+
+    def __init__(
+        self,
+        state: WsnState,
+        controller: MobilityController,
+        rng: random.Random,
+        max_rounds: Optional[int] = None,
+        failure_schedule: Optional[Dict[int, FailureModel]] = None,
+        event_log: Optional[EventLog] = None,
+        idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT,
+    ) -> None:
+        if idle_round_limit < 1:
+            raise ValueError(f"idle_round_limit must be >= 1, got {idle_round_limit}")
+        self.state = state
+        self.controller = controller
+        self.rng = rng
+        self.max_rounds = max_rounds if max_rounds is not None else 4 * state.grid.cell_count
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        self.failure_schedule = dict(failure_schedule or {})
+        self.event_log = event_log
+        self.idle_round_limit = idle_round_limit
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        """Execute rounds until coverage is restored, the run stalls, or the bound hits."""
+        initial = snapshot_state(self.state)
+        self._emit(
+            EventKind.HOLE_DETECTED,
+            round_index=0,
+            holes=initial.holes,
+            spares=initial.spares,
+        )
+        outcomes: List[RoundOutcome] = []
+        series = RoundSeries()
+        idle_rounds = 0
+        stalled = False
+        rounds_executed = 0
+
+        for round_index in range(self.max_rounds):
+            self._inject_failures(round_index)
+            outcome = self.controller.execute_round(self.state, self.rng, round_index)
+            outcomes.append(outcome)
+            rounds_executed = round_index + 1
+            self._emit_outcome(outcome)
+            series.record(
+                holes=self.state.hole_count,
+                moves=outcome.move_count,
+                distance=outcome.total_distance,
+            )
+
+            if outcome.made_progress:
+                idle_rounds = 0
+            else:
+                idle_rounds += 1
+
+            if self._finished(round_index):
+                break
+            if idle_rounds >= self.idle_round_limit and not self._failures_pending(round_index):
+                stalled = self.state.hole_count > 0
+                break
+
+        final_round = rounds_executed
+        finalize = getattr(self.controller, "finalize", None)
+        if callable(finalize):
+            finalize(self.state, final_round)
+        messages_sent = sum(outcome.messages_sent for outcome in outcomes)
+        metrics = collect_metrics(
+            self.controller, self.state, initial, rounds_executed, messages_sent
+        )
+        self._emit(
+            EventKind.SIMULATION_FINISHED,
+            round_index=final_round,
+            holes=self.state.hole_count,
+            moves=metrics.total_moves,
+            distance=round(metrics.total_distance, 3),
+        )
+        return SimulationResult(
+            metrics=metrics,
+            rounds_executed=rounds_executed,
+            stalled=stalled,
+            round_outcomes=outcomes,
+            series=series,
+            event_log=self.event_log,
+        )
+
+    # --------------------------------------------------------------- internal
+    def _inject_failures(self, round_index: int) -> None:
+        model = self.failure_schedule.get(round_index)
+        if model is None:
+            return
+        victims = model.apply(self.state, self.rng)
+        for node_id in victims:
+            self._emit(EventKind.NODE_DISABLED, round_index=round_index, node_id=node_id)
+        if victims:
+            self._emit(
+                EventKind.HOLE_DETECTED,
+                round_index=round_index,
+                holes=self.state.hole_count,
+            )
+
+    def _failures_pending(self, round_index: int) -> bool:
+        return any(scheduled > round_index for scheduled in self.failure_schedule)
+
+    def _finished(self, round_index: int) -> bool:
+        if self.state.hole_count > 0:
+            return False
+        if self._failures_pending(round_index):
+            return False
+        return self.controller.is_quiescent(self.state)
+
+    def _emit_outcome(self, outcome: RoundOutcome) -> None:
+        if self.event_log is None:
+            return
+        for process_id in outcome.processes_started:
+            self._emit(
+                EventKind.PROCESS_STARTED,
+                round_index=outcome.round_index,
+                process_id=process_id,
+            )
+        for move in outcome.moves:
+            self._emit(
+                EventKind.NODE_MOVED,
+                round_index=outcome.round_index,
+                node_id=move.node_id,
+                source=move.source_cell.as_tuple(),
+                target=move.target_cell.as_tuple(),
+                distance=round(move.distance, 3),
+                process_id=move.process_id,
+            )
+        for process_id in outcome.processes_converged:
+            self._emit(
+                EventKind.PROCESS_CONVERGED,
+                round_index=outcome.round_index,
+                process_id=process_id,
+            )
+        for process_id in outcome.processes_failed:
+            self._emit(
+                EventKind.PROCESS_FAILED,
+                round_index=outcome.round_index,
+                process_id=process_id,
+            )
+        self._emit(
+            EventKind.ROUND_COMPLETED,
+            round_index=outcome.round_index,
+            moves=outcome.move_count,
+        )
+
+    def _emit(self, kind: EventKind, round_index: int, **details: object) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(kind, round_index, **details)
+
+
+def run_recovery(
+    state: WsnState,
+    controller: MobilityController,
+    rng: random.Random,
+    max_rounds: Optional[int] = None,
+    failure_schedule: Optional[Dict[int, FailureModel]] = None,
+    event_log: Optional[EventLog] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`RoundBasedEngine` and run it."""
+    engine = RoundBasedEngine(
+        state,
+        controller,
+        rng,
+        max_rounds=max_rounds,
+        failure_schedule=failure_schedule,
+        event_log=event_log,
+    )
+    return engine.run()

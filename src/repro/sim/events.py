@@ -1,0 +1,78 @@
+"""Structured event log for simulation traces.
+
+The event log is optional — the engine and controllers work without it — but
+recording events makes the examples and the debugging of distributed
+behaviour much easier: every hole detection, replacement move, process
+convergence, and failure injection shows up as a typed record with the round
+in which it happened.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of trace events emitted by the engine."""
+
+    NODE_DISABLED = "node_disabled"
+    HOLE_DETECTED = "hole_detected"
+    PROCESS_STARTED = "process_started"
+    NODE_MOVED = "node_moved"
+    PROCESS_CONVERGED = "process_converged"
+    PROCESS_FAILED = "process_failed"
+    ROUND_COMPLETED = "round_completed"
+    SIMULATION_FINISHED = "simulation_finished"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record."""
+
+    kind: EventKind
+    round_index: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        payload = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[round {self.round_index:4d}] {self.kind.value}: {payload}"
+
+
+class EventLog:
+    """Append-only list of :class:`Event` records with simple filtering."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def emit(self, kind: EventKind, round_index: int, **details: object) -> Event:
+        event = Event(kind=kind, round_index=round_index, details=dict(details))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[EventKind] = None) -> List[Event]:
+        """All events, optionally restricted to one kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def rounds(self) -> List[int]:
+        """Distinct round indices that produced at least one event."""
+        return sorted({event.round_index for event in self._events})
+
+    def to_lines(self) -> List[str]:
+        """Human-readable rendering of the full trace."""
+        return [str(event) for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()

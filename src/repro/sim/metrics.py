@@ -1,0 +1,164 @@
+"""Aggregated run metrics.
+
+These are exactly the quantities the paper's Section 5 reports for each
+scheme: the number of replacement processes initiated, the success rate of
+hole recovery, the total number of node movements, and the total moving
+distance — plus a few bookkeeping fields (holes before/after, rounds, spare
+counts) that make results self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.protocol import MobilityController
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one recovery run of one scheme on one scenario."""
+
+    scheme: str
+    rounds: int
+    processes_initiated: int
+    processes_converged: int
+    processes_failed: int
+    redundant_processes: int
+    success_rate: float
+    total_moves: int
+    total_distance: float
+    messages_sent: int
+    initial_holes: int
+    final_holes: int
+    initial_spares: int
+    final_spares: int
+    initial_enabled: int
+    cell_coverage_before: float
+    cell_coverage_after: float
+
+    @property
+    def repaired_holes(self) -> int:
+        return self.initial_holes - self.final_holes
+
+    @property
+    def coverage_restored(self) -> bool:
+        """Whether the run ended with complete cell coverage (no holes left)."""
+        return self.final_holes == 0
+
+    @property
+    def moves_per_repaired_hole(self) -> float:
+        """Average movements spent per repaired hole (0 when nothing was repaired)."""
+        repaired = self.repaired_holes
+        return self.total_moves / repaired if repaired > 0 else 0.0
+
+    @property
+    def distance_per_repaired_hole(self) -> float:
+        repaired = self.repaired_holes
+        return self.total_distance / repaired if repaired > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (used by the CSV exporters)."""
+        return {
+            "scheme": self.scheme,
+            "rounds": self.rounds,
+            "processes_initiated": self.processes_initiated,
+            "processes_converged": self.processes_converged,
+            "processes_failed": self.processes_failed,
+            "redundant_processes": self.redundant_processes,
+            "success_rate": self.success_rate,
+            "total_moves": self.total_moves,
+            "total_distance": self.total_distance,
+            "messages_sent": self.messages_sent,
+            "initial_holes": self.initial_holes,
+            "final_holes": self.final_holes,
+            "repaired_holes": self.repaired_holes,
+            "initial_spares": self.initial_spares,
+            "final_spares": self.final_spares,
+            "initial_enabled": self.initial_enabled,
+            "cell_coverage_before": self.cell_coverage_before,
+            "cell_coverage_after": self.cell_coverage_after,
+        }
+
+
+@dataclass
+class InitialSnapshot:
+    """State statistics captured by the engine before the first round."""
+
+    holes: int
+    spares: int
+    enabled: int
+    cell_coverage: float
+
+
+def snapshot_state(state) -> InitialSnapshot:
+    """Capture the pre-recovery statistics of a network state."""
+    total_cells = state.grid.cell_count
+    holes = state.hole_count
+    return InitialSnapshot(
+        holes=holes,
+        spares=state.spare_count,
+        enabled=state.enabled_count,
+        cell_coverage=(total_cells - holes) / total_cells if total_cells else 1.0,
+    )
+
+
+def collect_metrics(
+    controller: MobilityController,
+    state,
+    initial: InitialSnapshot,
+    rounds: int,
+    messages_sent: int,
+) -> RunMetrics:
+    """Combine controller bookkeeping and final state into a :class:`RunMetrics`."""
+    total_cells = state.grid.cell_count
+    final_holes = state.hole_count
+    redundant = getattr(controller, "redundant_processes", 0)
+    return RunMetrics(
+        scheme=controller.name,
+        rounds=rounds,
+        processes_initiated=controller.total_processes,
+        processes_converged=controller.converged_processes,
+        processes_failed=controller.failed_processes,
+        redundant_processes=redundant,
+        success_rate=controller.success_rate,
+        total_moves=controller.total_moves,
+        total_distance=controller.total_distance,
+        messages_sent=messages_sent,
+        initial_holes=initial.holes,
+        final_holes=final_holes,
+        initial_spares=initial.spares,
+        final_spares=state.spare_count,
+        initial_enabled=initial.enabled,
+        cell_coverage_before=initial.cell_coverage,
+        cell_coverage_after=(total_cells - final_holes) / total_cells
+        if total_cells
+        else 1.0,
+    )
+
+
+@dataclass
+class RoundSeries:
+    """Per-round time series collected by the engine (for plots and debugging)."""
+
+    holes: List[int] = field(default_factory=list)
+    moves: List[int] = field(default_factory=list)
+    distance: List[float] = field(default_factory=list)
+
+    def record(self, holes: int, moves: int, distance: float) -> None:
+        self.holes.append(holes)
+        self.moves.append(moves)
+        self.distance.append(distance)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.holes)
+
+    @property
+    def cumulative_moves(self) -> List[int]:
+        total = 0
+        series = []
+        for value in self.moves:
+            total += value
+            series.append(total)
+        return series

@@ -1,0 +1,145 @@
+"""Scenario configuration for the paper's experimental workload.
+
+Section 5 of the paper builds its scenarios as follows: deploy a large number
+of sensors uniformly at random over the surveillance area (5000 sensors,
+communication range ``R = 10 m``, so the virtual grid uses
+``4.4721 m x 4.4721 m`` cells and a ``16 x 16`` grid system), then randomly
+disable nodes "and create the holes"; the x-axis of every figure is ``N``,
+the number of spare nodes left in the network beyond one head per cell, i.e.
+``N = enabled - m*n``.  :class:`ScenarioConfig` captures exactly those knobs
+plus the ones needed by the extension examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.grid.head_election import (
+    HeadElectionPolicy,
+    highest_energy_policy,
+    lowest_id_policy,
+    nearest_to_center_policy,
+)
+from repro.grid.virtual_grid import VirtualGrid, cell_side_for_range
+from repro.network.deployment import deploy_per_cell, deploy_uniform
+from repro.network.failures import ThinningToEnabledCount
+from repro.network.state import WsnState
+from repro.sim.rng import derive_rng
+
+#: Named head-election policies selectable from a scenario config.
+HEAD_POLICIES = {
+    "lowest_id": lowest_id_policy,
+    "highest_energy": highest_energy_policy,
+    "nearest_to_center": nearest_to_center_policy,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of one simulated deployment.
+
+    Attributes
+    ----------
+    columns, rows:
+        Virtual-grid dimensions (``n x m``); the paper uses ``16 x 16``.
+    communication_range:
+        Radio range ``R`` in metres; the cell side is ``r = R / sqrt(5)``.
+    deployed_count:
+        Number of sensors deployed before any failures (paper: 5000).
+    spare_surplus:
+        The paper's ``N``: nodes are disabled at random until exactly
+        ``columns * rows + N`` enabled nodes remain.  ``None`` disables the
+        thinning step (all deployed nodes stay enabled).
+    seed:
+        Master seed; deployment, thinning, and controller randomness use
+        independent streams derived from it.
+    head_policy:
+        Name of the head-election policy (see :data:`HEAD_POLICIES`).
+    deployment:
+        ``"uniform"`` (the paper's workload) or ``"per_cell"`` (exactly
+        ``deployed_count // cells`` nodes per cell; useful for tests).
+    """
+
+    columns: int = 16
+    rows: int = 16
+    communication_range: float = 10.0
+    deployed_count: int = 5000
+    spare_surplus: Optional[int] = None
+    seed: int = 0
+    head_policy: str = "lowest_id"
+    deployment: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise ValueError("grid dimensions must be positive")
+        if self.communication_range <= 0:
+            raise ValueError("communication_range must be positive")
+        if self.deployed_count < 0:
+            raise ValueError("deployed_count must be non-negative")
+        if self.spare_surplus is not None and self.spare_surplus < 0:
+            raise ValueError("spare_surplus must be non-negative when given")
+        if self.head_policy not in HEAD_POLICIES:
+            raise ValueError(
+                f"unknown head_policy {self.head_policy!r}; choose one of "
+                f"{sorted(HEAD_POLICIES)}"
+            )
+        if self.deployment not in ("uniform", "per_cell"):
+            raise ValueError(
+                f"deployment must be 'uniform' or 'per_cell', got {self.deployment!r}"
+            )
+
+    # ----------------------------------------------------------- derived view
+    @property
+    def cell_size(self) -> float:
+        """Cell side ``r = R / sqrt(5)`` in metres."""
+        return cell_side_for_range(self.communication_range)
+
+    @property
+    def cell_count(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def target_enabled(self) -> Optional[int]:
+        """Number of enabled nodes after thinning (``m*n + N``), if thinning is on."""
+        if self.spare_surplus is None:
+            return None
+        return self.cell_count + self.spare_surplus
+
+    @property
+    def head_policy_fn(self) -> HeadElectionPolicy:
+        return HEAD_POLICIES[self.head_policy]
+
+    def make_grid(self) -> VirtualGrid:
+        return VirtualGrid(self.columns, self.rows, self.cell_size)
+
+    def with_spare_surplus(self, spare_surplus: int) -> "ScenarioConfig":
+        """Copy of the config with a different ``N`` (used by parameter sweeps)."""
+        return dataclasses.replace(self, spare_surplus=spare_surplus)
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """Copy of the config with a different master seed (used for repeated trials)."""
+        return dataclasses.replace(self, seed=seed)
+
+
+def build_scenario_state(config: ScenarioConfig) -> WsnState:
+    """Deploy, thin, and index a network according to ``config``.
+
+    The returned :class:`~repro.network.state.WsnState` is ready for a
+    controller: nodes are deployed, the requested number of nodes has been
+    disabled, and heads are elected in every non-vacant cell.
+    """
+    grid = config.make_grid()
+    deploy_rng = derive_rng(config.seed, "deployment")
+    if config.deployment == "uniform":
+        nodes = deploy_uniform(grid, config.deployed_count, deploy_rng)
+    else:
+        per_cell = max(1, config.deployed_count // config.cell_count)
+        nodes = deploy_per_cell(grid, per_cell, deploy_rng)
+    state = WsnState(grid, nodes, head_policy=config.head_policy_fn)
+    if config.target_enabled is not None:
+        thinning = ThinningToEnabledCount(target_enabled=config.target_enabled)
+        thinning.apply(state, derive_rng(config.seed, "thinning"))
+    return state

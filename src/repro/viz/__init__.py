@@ -1,0 +1,15 @@
+"""Terminal-friendly visualisation of grids, cycles, and occupancy."""
+
+from repro.viz.ascii_grid import (
+    render_cycle,
+    render_dual_paths,
+    render_occupancy,
+    render_roles,
+)
+
+__all__ = [
+    "render_occupancy",
+    "render_cycle",
+    "render_dual_paths",
+    "render_roles",
+]

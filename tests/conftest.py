@@ -1,0 +1,70 @@
+"""Shared fixtures for the unit, integration, and property-based tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.deployment import deploy_per_cell, deploy_uniform
+from repro.network.state import WsnState
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random stream for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_grid() -> VirtualGrid:
+    """A 4x5 grid with unit cells (the paper's small example)."""
+    return VirtualGrid(columns=4, rows=5, cell_size=1.0)
+
+
+@pytest.fixture
+def paper_grid() -> VirtualGrid:
+    """The paper's evaluation grid: 16x16 cells of 4.4721 m (R = 10 m)."""
+    return VirtualGrid(columns=16, rows=16, cell_size=4.4721)
+
+
+@pytest.fixture
+def odd_grid() -> VirtualGrid:
+    """A 5x5 grid, which requires the dual-path Hamilton construction."""
+    return VirtualGrid(columns=5, rows=5, cell_size=1.0)
+
+
+@pytest.fixture
+def dense_state(small_grid, rng) -> WsnState:
+    """A fully covered 4x5 network with 3 nodes in every cell (2 spares each)."""
+    nodes = deploy_per_cell(small_grid, 3, rng)
+    return WsnState(small_grid, nodes)
+
+
+@pytest.fixture
+def sparse_state(small_grid, rng) -> WsnState:
+    """A 4x5 network with exactly one node per cell (no spares anywhere)."""
+    nodes = deploy_per_cell(small_grid, 1, rng)
+    return WsnState(small_grid, nodes)
+
+
+@pytest.fixture
+def uniform_state(small_grid, rng) -> WsnState:
+    """A 4x5 network with 60 uniformly deployed nodes (some cells may be empty)."""
+    nodes = deploy_uniform(small_grid, 60, rng)
+    return WsnState(small_grid, nodes)
+
+
+@pytest.fixture
+def small_cycle(small_grid):
+    """The serpentine Hamilton cycle over the 4x5 grid."""
+    return build_hamilton_cycle(small_grid)
+
+
+def make_hole(state: WsnState, coord: GridCoord) -> None:
+    """Disable every enabled node currently inside ``coord`` (test helper)."""
+    for node in list(state.members_of(coord)):
+        state.disable_node(node.node_id)
+    assert state.is_vacant(coord)

@@ -1,0 +1,13 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+from repro.grid.virtual_grid import GridCoord
+from repro.network.state import WsnState
+
+
+def make_hole(state: WsnState, coord: GridCoord) -> None:
+    """Disable every enabled node currently inside ``coord``, creating a hole."""
+    for node in list(state.members_of(coord)):
+        state.disable_node(node.node_id)
+    assert state.is_vacant(coord)

@@ -1,0 +1,168 @@
+"""Unit tests for the analytical model (Theorem 2, Corollary 2, Section 4 estimates)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import analysis
+
+
+class TestMovementDistribution:
+    def test_distribution_sums_to_one_with_spares(self):
+        for spares, path_length in [(1, 5), (12, 19), (100, 255)]:
+            distribution = analysis.movement_distribution(spares, path_length)
+            assert distribution.sum() == pytest.approx(1.0)
+            assert len(distribution) == path_length
+            assert (distribution >= -1e-12).all()
+
+    def test_matches_paper_equation_form(self):
+        """The telescoped form equals Equation (1) evaluated term by term."""
+        spares, path_length = 7, 19
+        distribution = analysis.movement_distribution(spares, path_length)
+        for i in range(1, path_length + 1):
+            prefix = math.prod(
+                ((path_length - k) / (path_length - k + 1)) ** spares
+                for k in range(1, i)
+            )
+            if i == path_length:
+                expected = prefix
+            else:
+                expected = (1 - ((path_length - i) / (path_length - i + 1)) ** spares) * prefix
+            assert distribution[i - 1] == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_spares_puts_all_mass_on_full_walk(self):
+        distribution = analysis.movement_distribution(0, 10)
+        assert distribution[-1] == pytest.approx(1.0)
+        assert distribution[:-1].sum() == pytest.approx(0.0)
+
+    def test_more_spares_shift_mass_towards_one_hop(self):
+        few = analysis.movement_distribution(2, 50)
+        many = analysis.movement_distribution(80, 50)
+        assert many[0] > few[0]
+        assert many[-1] < few[-1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            analysis.movement_distribution(-1, 10)
+        with pytest.raises(ValueError):
+            analysis.movement_distribution(3, 0)
+
+
+class TestExpectedMovements:
+    def test_paper_reference_value(self):
+        """Section 3's example: 12 spares in the 4x5 grid -> 2.0139 movements."""
+        assert analysis.expected_movements(12, 19) == pytest.approx(2.0139, abs=1e-4)
+
+    def test_equals_weighted_sum_of_distribution(self):
+        spares, path_length = 9, 30
+        distribution = analysis.movement_distribution(spares, path_length)
+        weighted = float(np.sum(np.arange(1, path_length + 1) * distribution))
+        assert analysis.expected_movements(spares, path_length) == pytest.approx(weighted)
+
+    def test_limits(self):
+        assert analysis.expected_movements(0, 19) == pytest.approx(19.0)
+        assert analysis.expected_movements(10**6, 19) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_spares(self):
+        values = [analysis.expected_movements(n, 255) for n in range(0, 500, 25)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_path_length(self):
+        values = [analysis.expected_movements(20, length) for length in (10, 50, 100, 255)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_16x16_density_claim(self):
+        """Enabled density of 1.68 per cell keeps the expectation at about 2 moves."""
+        spares = int(round((1.68 - 1.0) * 256))
+        assert analysis.expected_movements(spares, 255) <= 2.05
+
+    def test_dual_path_corollary(self):
+        assert analysis.expected_movements_dual_path(10, 5, 5) == pytest.approx(
+            analysis.expected_movements(10, 23)
+        )
+        with pytest.raises(ValueError):
+            analysis.expected_movements_dual_path(10, 4, 5)
+
+
+class TestDistanceEstimates:
+    def test_distance_is_movements_times_hop_estimate(self):
+        spares, path_length, cell = 12, 19, 10.0
+        expected = 1.08 * cell * analysis.expected_movements(spares, path_length)
+        assert analysis.expected_total_distance(spares, path_length, cell) == pytest.approx(expected)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            analysis.expected_total_distance(5, 19, 0.0)
+
+    def test_hop_distance_statistics(self):
+        low, average, high = analysis.hop_distance_statistics(10.0)
+        assert low == pytest.approx(2.5)
+        assert average == pytest.approx(10.8)
+        assert high == pytest.approx(math.sqrt(58) / 4 * 10)
+        assert low < average < high
+
+
+class TestSeries:
+    def test_movements_series(self):
+        series = analysis.movements_series([0, 10, 100], 19)
+        assert [n for n, _ in series] == [0, 10, 100]
+        assert series[0][1] == pytest.approx(19.0)
+        assert series[-1][1] < series[1][1]
+
+    def test_distance_series(self):
+        series = analysis.distance_series([0, 10], 19, 10.0)
+        assert series[0][1] == pytest.approx(1.08 * 10 * 19)
+
+    def test_network_level_estimates(self):
+        moves = analysis.expected_network_movements(holes=5, spares=12, path_length=19)
+        assert moves == pytest.approx(5 * analysis.expected_movements(12, 19))
+        distance = analysis.expected_network_distance(5, 12, 19, 10.0)
+        assert distance == pytest.approx(5 * analysis.expected_total_distance(12, 19, 10.0))
+        assert analysis.expected_network_movements(0, 12, 19) == 0.0
+        with pytest.raises(ValueError):
+            analysis.expected_network_movements(-1, 12, 19)
+
+
+class TestDensityHelpers:
+    def test_spares_for_expected_movements(self):
+        spares = analysis.spares_for_expected_movements(255, target_movements=2.0)
+        assert analysis.expected_movements(spares, 255) <= 2.0
+        if spares > 0:
+            assert analysis.expected_movements(spares - 1, 255) > 2.0
+
+    def test_minimum_density_matches_paper(self):
+        """The paper quotes ~1.68 enabled nodes per cell for the 16x16 grid."""
+        density = analysis.minimum_density_for_expected_movements(16, 16, 2.0)
+        assert density == pytest.approx(1.68, abs=0.03)
+
+    def test_minimum_density_more_generous_than_baselines(self):
+        """The balancing baselines need 4 nodes per cell; SR needs far less."""
+        assert analysis.minimum_density_for_expected_movements(16, 16, 2.0) < 4.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            analysis.spares_for_expected_movements(19, target_movements=0.5)
+
+
+class TestConvergenceProbability:
+    def test_within_full_path_is_one(self):
+        assert analysis.convergence_probability_within(10, 19, 19) == pytest.approx(1.0)
+        assert analysis.convergence_probability_within(10, 19, 50) == pytest.approx(1.0)
+
+    def test_zero_hops_is_zero(self):
+        assert analysis.convergence_probability_within(10, 19, 0) == 0.0
+
+    def test_monotone_in_hops(self):
+        values = [analysis.convergence_probability_within(5, 40, h) for h in range(0, 41, 5)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_first_hop_probability(self):
+        """P(converge in 1 hop) = 1 - ((L-1)/L)^N, the paper's P(1)."""
+        spares, path_length = 8, 25
+        expected = 1 - ((path_length - 1) / path_length) ** spares
+        assert analysis.convergence_probability_within(spares, path_length, 1) == pytest.approx(expected)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            analysis.convergence_probability_within(5, 10, -1)

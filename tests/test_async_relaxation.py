@@ -1,0 +1,105 @@
+"""Tests for the asynchronous relaxation of the SR scheme.
+
+Section 2 of the paper notes that the round-based description "can be
+extended easily to an asynchronous system".  The controller models that by an
+``activation_probability`` below 1.0: each responsible head wakes up in a
+given round only with that probability.  Recovery must still complete — it
+just takes more rounds — and the one-process-per-hole property is untouched.
+"""
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.grid.virtual_grid import GridCoord
+from repro.sim.engine import RoundBasedEngine
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+from helpers import make_hole
+
+
+def async_controller(state, probability):
+    return HamiltonReplacementController(
+        build_hamilton_cycle(state.grid), activation_probability=probability
+    )
+
+
+class TestValidation:
+    def test_probability_bounds(self, small_cycle):
+        with pytest.raises(ValueError):
+            HamiltonReplacementController(small_cycle, activation_probability=0.0)
+        with pytest.raises(ValueError):
+            HamiltonReplacementController(small_cycle, activation_probability=1.5)
+        HamiltonReplacementController(small_cycle, activation_probability=1.0)
+
+
+class TestAsynchronousRecovery:
+    def test_recovery_still_completes(self, dense_state):
+        for hole in (GridCoord(1, 1), GridCoord(3, 2), GridCoord(0, 4)):
+            make_hole(dense_state, hole)
+        controller = async_controller(dense_state, probability=0.4)
+        engine = RoundBasedEngine(
+            dense_state,
+            controller,
+            derive_rng(3, "async"),
+            max_rounds=500,
+            idle_round_limit=50,
+        )
+        result = engine.run()
+        assert result.metrics.final_holes == 0
+        assert result.metrics.success_rate == 1.0
+        assert result.metrics.processes_initiated == 3
+        dense_state.check_invariants()
+
+    def test_same_cost_as_synchronous_just_slower(self):
+        """Asynchrony delays actions but does not change what moves where."""
+        config = ScenarioConfig(
+            columns=8, rows=8, deployed_count=400, spare_surplus=40, seed=13
+        )
+        sync_state = build_scenario_state(config)
+        async_state = sync_state.clone()
+
+        sync_controller = async_controller(sync_state, probability=1.0)
+        slow_controller = async_controller(async_state, probability=0.3)
+
+        sync_result = RoundBasedEngine(
+            sync_state, sync_controller, derive_rng(13, "sync"), max_rounds=500
+        ).run()
+        async_result = RoundBasedEngine(
+            async_state,
+            slow_controller,
+            derive_rng(13, "async"),
+            max_rounds=2000,
+            idle_round_limit=60,
+        ).run()
+
+        assert sync_result.metrics.final_holes == 0
+        assert async_result.metrics.final_holes == 0
+        # Same number of holes repaired, same one-process-per-hole accounting.
+        assert (
+            async_result.metrics.processes_initiated
+            == sync_result.metrics.processes_initiated
+        )
+        # The asynchronous run cannot be faster than the synchronous one.
+        assert async_result.metrics.rounds >= sync_result.metrics.rounds
+        # Move counts stay in the same ballpark (randomised tie-breaks shift
+        # which spare is consumed first, so allow slack).
+        assert async_result.metrics.total_moves <= 2 * sync_result.metrics.total_moves + 5
+
+    def test_single_hole_eventually_served(self, sparse_state):
+        """Even with a very low activation probability the initiator acts eventually."""
+        make_hole(sparse_state, GridCoord(2, 2))
+        controller = async_controller(sparse_state, probability=0.1)
+        engine = RoundBasedEngine(
+            sparse_state,
+            controller,
+            derive_rng(5, "slow"),
+            max_rounds=400,
+            idle_round_limit=100,
+        )
+        engine.run()
+        # With no spares anywhere the process cannot converge, but it must at
+        # least have been initiated and have moved the hole along the cycle.
+        assert controller.total_processes == 1
+        assert controller.total_moves >= 1

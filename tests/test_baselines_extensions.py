@@ -1,0 +1,102 @@
+"""Unit tests for the extension baselines (virtual force, SMART scan)."""
+
+import pytest
+
+from repro.baselines.smart_scan import SmartScanController
+from repro.baselines.virtual_force import VirtualForceController
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.deployment import deploy_per_cell, deploy_per_cell_counts
+from repro.network.state import WsnState
+from repro.sim.engine import run_recovery
+
+from helpers import make_hole
+
+
+class TestVirtualForce:
+    def test_repairs_single_hole_near_dense_region(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(1, 1))
+        controller = VirtualForceController()
+        result = run_recovery(dense_state, controller, rng, max_rounds=200)
+        assert result.metrics.final_holes == 0
+        dense_state.check_invariants()
+
+    def test_needs_many_small_moves(self, dense_state, rng):
+        """The paper's criticism: virtual force pays many movements per hole."""
+        make_hole(dense_state, GridCoord(2, 2))
+        controller = VirtualForceController()
+        result = run_recovery(dense_state, controller, rng, max_rounds=200)
+        assert controller.total_moves > 5
+        # Individual steps are bounded by max_step (half a cell by default).
+        for record in controller.movement_records():
+            assert record.distance <= dense_state.grid.cell_size / 2.0 + 1e-9
+
+    def test_heads_do_not_move(self, dense_state, rng):
+        heads_before = set(dense_state.heads().values())
+        controller = VirtualForceController()
+        controller.execute_round(dense_state, rng, 0)
+        moved = {record.node_id for record in controller.movement_records()}
+        assert heads_before.isdisjoint(moved)
+
+    def test_idle_when_balanced_and_covered(self, sparse_state, rng):
+        """With one node per cell and no holes there is nothing to push anywhere."""
+        controller = VirtualForceController()
+        outcome = controller.execute_round(sparse_state, rng, 0)
+        assert outcome.move_count == 0
+
+    def test_processes_track_holes(self, dense_state, rng):
+        holes = [GridCoord(0, 0), GridCoord(3, 4)]
+        for hole in holes:
+            make_hole(dense_state, hole)
+        controller = VirtualForceController()
+        run_recovery(dense_state, controller, rng, max_rounds=200)
+        assert controller.total_processes == len(holes)
+        assert controller.converged_processes == len(holes)
+
+
+class TestSmartScan:
+    def test_balances_uneven_rows(self, rng):
+        grid = VirtualGrid(4, 1, cell_size=1.0)
+        counts = {GridCoord(0, 0): 4, GridCoord(1, 0): 0, GridCoord(2, 0): 0, GridCoord(3, 0): 0}
+        state = WsnState(grid, deploy_per_cell_counts(grid, counts, rng))
+        controller = SmartScanController()
+        result = run_recovery(state, controller, rng, max_rounds=50)
+        assert result.metrics.final_holes == 0
+        assert all(count == 1 for count in state.occupancy().values())
+
+    def test_covers_holes_with_enough_nodes(self, dense_state, rng):
+        for hole in [GridCoord(0, 0), GridCoord(1, 2), GridCoord(3, 4)]:
+            make_hole(dense_state, hole)
+        controller = SmartScanController()
+        result = run_recovery(dense_state, controller, rng, max_rounds=200)
+        assert result.metrics.final_holes == 0
+        dense_state.check_invariants()
+
+    def test_rebalances_entire_grid(self, rng):
+        """SMART's cost: it moves nodes even in rows that contain no hole."""
+        grid = VirtualGrid(4, 4, cell_size=1.0)
+        counts = {coord: 2 for coord in grid.all_coords()}
+        # Pile extra nodes on one side so balancing has real work to do.
+        counts[GridCoord(0, 0)] = 6
+        counts[GridCoord(0, 3)] = 6
+        state = WsnState(grid, deploy_per_cell_counts(grid, counts, rng))
+        make_hole(state, GridCoord(3, 1))
+        controller = SmartScanController()
+        result = run_recovery(state, controller, rng, max_rounds=200)
+        assert result.metrics.final_holes == 0
+        assert controller.total_moves >= 4
+
+    def test_quiescent_after_both_phases(self, sparse_state, rng):
+        controller = SmartScanController()
+        run_recovery(sparse_state, controller, rng, max_rounds=50)
+        assert controller.is_quiescent(sparse_state)
+
+    def test_even_distribution_after_balancing(self, rng):
+        grid = VirtualGrid(3, 3, cell_size=1.0)
+        counts = {coord: 0 for coord in grid.all_coords()}
+        counts[GridCoord(0, 0)] = 9
+        state = WsnState(grid, deploy_per_cell_counts(grid, counts, rng))
+        controller = SmartScanController()
+        result = run_recovery(state, controller, rng, max_rounds=100)
+        occupancy = state.occupancy()
+        assert result.metrics.final_holes == 0
+        assert max(occupancy.values()) - min(occupancy.values()) <= 1

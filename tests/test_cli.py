@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["figures", "fig3"]).command == "figures"
+        assert parser.parse_args(["compare"]).command == "compare"
+        assert parser.parse_args(["analyze", "--spares", "5"]).command == "analyze"
+        assert parser.parse_args(["layout"]).command == "layout"
+
+    def test_compare_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schemes", "BOGUS"])
+
+
+class TestAnalyzeCommand:
+    def test_prints_theorem2_values(self, capsys):
+        assert main(["analyze", "--spares", "12", "--path-length", "19"]) == 0
+        output = capsys.readouterr().out
+        assert "2.0139" in output
+        assert "per-hop distance" in output
+
+
+class TestLayoutCommand:
+    def test_even_grid_prints_cycle(self, capsys):
+        assert main(["layout", "--columns", "4", "--rows", "4"]) == 0
+        assert "Hamilton cycle" in capsys.readouterr().out
+
+    def test_odd_grid_prints_dual_path(self, capsys):
+        assert main(["layout", "--columns", "5", "--rows", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "Dual-path" in output
+        assert "path one" in output
+
+
+class TestFiguresCommand:
+    def test_analytical_figures_only(self, capsys, tmp_path):
+        code = main(["figures", "fig3", "fig5", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output and "Figure 5" in output
+        assert (tmp_path / "fig3_expected_movements.csv").exists()
+        assert (tmp_path / "fig5_distance_estimates.csv").exists()
+
+    def test_unknown_figure_is_an_error(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_structural_figures(self, capsys):
+        assert main(["figures", "fig1", "fig4"]) == 0
+        output = capsys.readouterr().out
+        assert "Hamilton cycle" in output and "Dual-path" in output
+
+
+class TestCompareCommand:
+    def test_small_comparison_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--columns", "6",
+                "--rows", "6",
+                "--deployed", "200",
+                "--spare-surplus", "20",
+                "--seed", "2",
+                "--schemes", "SR", "AR",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SR" in output and "AR" in output
+        assert "holes_left" in output
+
+    def test_shortcut_scheme_available(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--columns", "6",
+                "--rows", "6",
+                "--deployed", "150",
+                "--spare-surplus", "10",
+                "--seed", "4",
+                "--schemes", "SR-shortcut",
+            ]
+        )
+        assert code == 0
+        assert "SR-shortcut" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Unit tests for the coverage evaluation."""
+
+import pytest
+
+from repro.grid.coverage import (
+    cell_coverage_fraction,
+    coverage_report,
+    covered_cells,
+    hole_cells_adjacency,
+    sampled_area_coverage,
+)
+from repro.grid.geometry import Point
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+
+from helpers import make_hole
+
+
+class TestCellCoverage:
+    def test_fully_covered_network(self, dense_state):
+        assert cell_coverage_fraction(dense_state) == 1.0
+        report = coverage_report(dense_state)
+        assert report.is_complete
+        assert report.vacant_cells == 0
+        assert report.covered_cells == dense_state.grid.cell_count
+
+    def test_coverage_drops_with_holes(self, dense_state):
+        make_hole(dense_state, GridCoord(0, 0))
+        make_hole(dense_state, GridCoord(3, 4))
+        fraction = cell_coverage_fraction(dense_state)
+        assert fraction == pytest.approx(18 / 20)
+        report = coverage_report(dense_state)
+        assert not report.is_complete
+        assert report.vacant_cells == 2
+
+    def test_covered_cells_listing(self, sparse_state):
+        make_hole(sparse_state, GridCoord(1, 1))
+        cells = covered_cells(sparse_state)
+        assert GridCoord(1, 1) not in cells
+        assert len(cells) == sparse_state.grid.cell_count - 1
+
+
+class TestAreaCoverage:
+    def test_no_sensors_covers_nothing(self):
+        grid = VirtualGrid(4, 4, 1.0)
+        assert sampled_area_coverage([], grid, sensing_range=1.0) == 0.0
+
+    def test_single_central_sensor_partial_coverage(self):
+        grid = VirtualGrid(4, 4, 1.0)
+        coverage = sampled_area_coverage([Point(2, 2)], grid, sensing_range=1.0)
+        assert 0.0 < coverage < 0.5
+
+    def test_large_range_covers_everything(self):
+        grid = VirtualGrid(4, 4, 1.0)
+        coverage = sampled_area_coverage([Point(2, 2)], grid, sensing_range=10.0)
+        assert coverage == 1.0
+
+    def test_coverage_monotone_in_range(self):
+        grid = VirtualGrid(6, 6, 1.0)
+        positions = [Point(1, 1), Point(4, 4)]
+        small = sampled_area_coverage(positions, grid, sensing_range=0.8)
+        large = sampled_area_coverage(positions, grid, sensing_range=2.0)
+        assert large > small
+
+    def test_invalid_arguments(self):
+        grid = VirtualGrid(2, 2, 1.0)
+        with pytest.raises(ValueError):
+            sampled_area_coverage([], grid, sensing_range=-1)
+        with pytest.raises(ValueError):
+            sampled_area_coverage([], grid, sensing_range=1.0, samples_per_cell_side=0)
+
+    def test_report_includes_area_coverage_when_requested(self, dense_state):
+        report = coverage_report(dense_state, sensing_range=2.0)
+        assert report.area_coverage is not None
+        assert 0.0 < report.area_coverage <= 1.0
+        plain = coverage_report(dense_state)
+        assert plain.area_coverage is None
+
+
+class TestHoleAdjacency:
+    def test_isolated_holes_have_no_vacant_neighbours(self, dense_state):
+        make_hole(dense_state, GridCoord(0, 0))
+        make_hole(dense_state, GridCoord(3, 4))
+        adjacency = hole_cells_adjacency(dense_state)
+        assert adjacency[GridCoord(0, 0)] == []
+        assert adjacency[GridCoord(3, 4)] == []
+
+    def test_clustered_holes_are_linked(self, dense_state):
+        make_hole(dense_state, GridCoord(1, 1))
+        make_hole(dense_state, GridCoord(1, 2))
+        adjacency = hole_cells_adjacency(dense_state)
+        assert GridCoord(1, 2) in adjacency[GridCoord(1, 1)]
+        assert GridCoord(1, 1) in adjacency[GridCoord(1, 2)]

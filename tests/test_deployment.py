@@ -1,0 +1,140 @@
+"""Unit tests for the deployment generators."""
+
+import random
+
+import pytest
+
+from repro.grid.geometry import Point
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.deployment import (
+    deploy_clustered,
+    deploy_grid_heads,
+    deploy_per_cell,
+    deploy_per_cell_counts,
+    deploy_uniform,
+    occupancy_by_cell,
+)
+
+
+@pytest.fixture
+def grid():
+    return VirtualGrid(6, 4, cell_size=2.0)
+
+
+class TestUniform:
+    def test_count_and_ids(self, grid, rng):
+        nodes = deploy_uniform(grid, 100, rng)
+        assert len(nodes) == 100
+        assert [n.node_id for n in nodes] == list(range(100))
+
+    def test_all_positions_inside_area(self, grid, rng):
+        for node in deploy_uniform(grid, 200, rng):
+            assert grid.bounds.contains(node.position)
+
+    def test_start_id_offset(self, grid, rng):
+        nodes = deploy_uniform(grid, 5, rng, start_id=50)
+        assert [n.node_id for n in nodes] == [50, 51, 52, 53, 54]
+
+    def test_zero_and_negative(self, grid, rng):
+        assert deploy_uniform(grid, 0, rng) == []
+        with pytest.raises(ValueError):
+            deploy_uniform(grid, -1, rng)
+
+    def test_reproducible_for_same_seed(self, grid):
+        a = deploy_uniform(grid, 20, random.Random(9))
+        b = deploy_uniform(grid, 20, random.Random(9))
+        assert [n.position for n in a] == [n.position for n in b]
+
+    def test_roughly_uniform_occupancy(self, grid):
+        nodes = deploy_uniform(grid, 2400, random.Random(4))
+        occupancy = occupancy_by_cell(grid, nodes)
+        expected = 2400 / grid.cell_count
+        assert min(occupancy.values()) > expected * 0.4
+        assert max(occupancy.values()) < expected * 1.8
+
+
+class TestPerCell:
+    def test_exact_per_cell(self, grid, rng):
+        nodes = deploy_per_cell(grid, 3, rng)
+        occupancy = occupancy_by_cell(grid, nodes)
+        assert all(count == 3 for count in occupancy.values())
+        assert len(nodes) == grid.cell_count * 3
+
+    def test_zero_per_cell(self, grid, rng):
+        assert deploy_per_cell(grid, 0, rng) == []
+
+    def test_rejects_negative(self, grid, rng):
+        with pytest.raises(ValueError):
+            deploy_per_cell(grid, -2, rng)
+
+    def test_nodes_are_in_their_cell(self, grid, rng):
+        nodes = deploy_per_cell(grid, 2, rng)
+        occupancy = occupancy_by_cell(grid, nodes)
+        assert sum(occupancy.values()) == len(nodes)
+
+
+class TestPerCellCounts:
+    def test_explicit_counts(self, grid, rng):
+        counts = {GridCoord(0, 0): 2, GridCoord(5, 3): 1}
+        nodes = deploy_per_cell_counts(grid, counts, rng)
+        occupancy = occupancy_by_cell(grid, nodes)
+        assert occupancy[GridCoord(0, 0)] == 2
+        assert occupancy[GridCoord(5, 3)] == 1
+        assert sum(occupancy.values()) == 3
+
+    def test_rejects_invalid_cell_and_count(self, grid, rng):
+        with pytest.raises(ValueError):
+            deploy_per_cell_counts(grid, {GridCoord(9, 9): 1}, rng)
+        with pytest.raises(ValueError):
+            deploy_per_cell_counts(grid, {GridCoord(0, 0): -1}, rng)
+
+
+class TestGridHeads:
+    def test_one_node_per_cell_at_center(self, grid):
+        nodes = deploy_grid_heads(grid)
+        assert len(nodes) == grid.cell_count
+        for node in nodes:
+            coord = grid.cell_of(node.position)
+            assert node.position == grid.cell_center(coord)
+
+    def test_jitter_requires_rng(self, grid, rng):
+        with pytest.raises(ValueError):
+            deploy_grid_heads(grid, jitter=True)
+        nodes = deploy_grid_heads(grid, rng=rng, jitter=True)
+        for node in nodes:
+            coord = grid.cell_of(node.position)
+            assert grid.central_area(coord).contains(node.position)
+
+
+class TestClustered:
+    def test_positions_clamped_to_area(self, grid, rng):
+        centers = [Point(0.0, 0.0), Point(12.0, 8.0)]
+        nodes = deploy_clustered(grid, 150, centers, spread=5.0, rng=rng)
+        assert len(nodes) == 150
+        for node in nodes:
+            assert grid.bounds.contains(node.position)
+
+    def test_clusters_are_denser_near_centres(self, grid):
+        rng = random.Random(10)
+        center = Point(2.0, 2.0)
+        nodes = deploy_clustered(grid, 400, [center], spread=1.0, rng=rng)
+        near = sum(1 for n in nodes if n.position.distance_to(center) < 3.0)
+        assert near > len(nodes) * 0.7
+
+    def test_invalid_arguments(self, grid, rng):
+        with pytest.raises(ValueError):
+            deploy_clustered(grid, 10, [], spread=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            deploy_clustered(grid, -1, [Point(0, 0)], spread=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            deploy_clustered(grid, 10, [Point(0, 0)], spread=-1.0, rng=rng)
+
+
+class TestOccupancy:
+    def test_occupancy_counts_disabled_optionally(self, grid, rng):
+        nodes = deploy_per_cell(grid, 1, rng)
+        nodes[0].disable()
+        enabled_occupancy = occupancy_by_cell(grid, nodes)
+        all_occupancy = occupancy_by_cell(grid, nodes, enabled_only=False)
+        assert sum(enabled_occupancy.values()) == grid.cell_count - 1
+        assert sum(all_occupancy.values()) == grid.cell_count

@@ -1,0 +1,80 @@
+"""Unit tests for the energy accounting helpers."""
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.grid.virtual_grid import GridCoord
+from repro.network.energy import (
+    EnergySummary,
+    energy_summary,
+    per_scheme_energy_costs,
+    recovery_energy_cost,
+)
+from repro.network.node import DEFAULT_BATTERY_CAPACITY, MESSAGE_COST, MOVE_COST_PER_METER
+from repro.sim.engine import run_recovery
+
+from helpers import make_hole
+
+
+class TestEnergySummary:
+    def test_fresh_network_is_fully_charged(self, dense_state):
+        summary = energy_summary(dense_state)
+        assert summary.enabled_nodes == dense_state.enabled_count
+        assert summary.mean_energy == pytest.approx(DEFAULT_BATTERY_CAPACITY)
+        assert summary.total_consumed == pytest.approx(0.0)
+        assert summary.depleted_nodes == 0
+        assert summary.imbalance == pytest.approx(0.0)
+        assert summary.head_mean_energy == pytest.approx(DEFAULT_BATTERY_CAPACITY)
+        assert summary.spare_mean_energy == pytest.approx(DEFAULT_BATTERY_CAPACITY)
+
+    def test_empty_network(self, dense_state, rng):
+        for node in dense_state.enabled_nodes():
+            dense_state.disable_node(node.node_id)
+        summary = energy_summary(dense_state)
+        assert summary.enabled_nodes == 0
+        assert summary.total_energy == 0.0
+
+    def test_recovery_drains_energy(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(2, 2))
+        controller = HamiltonReplacementController(build_hamilton_cycle(dense_state.grid))
+        result = run_recovery(dense_state, controller, rng)
+        summary = energy_summary(dense_state)
+        assert summary.total_consumed > 0.0
+        assert summary.imbalance > 0.0
+        # Consumed energy matches the cost model applied to the run metrics.
+        expected = recovery_energy_cost(
+            result.metrics.total_distance, result.metrics.messages_sent
+        )
+        assert summary.total_consumed == pytest.approx(expected, rel=1e-6)
+
+
+class TestCostModel:
+    def test_recovery_energy_cost_formula(self):
+        cost = recovery_energy_cost(total_distance=25.0, messages_sent=4)
+        assert cost == pytest.approx(25.0 * MOVE_COST_PER_METER + 4 * MESSAGE_COST)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            recovery_energy_cost(-1.0)
+        with pytest.raises(ValueError):
+            recovery_energy_cost(1.0, messages_sent=-1)
+
+    def test_per_scheme_costs_follow_distance_ordering(self, dense_state, rng):
+        from repro.core.baseline_ar import LocalizedReplacementController
+
+        holes = [GridCoord(1, 1), GridCoord(3, 3)]
+        sr_state, ar_state = dense_state.clone(), dense_state.clone()
+        for hole in holes:
+            make_hole(sr_state, hole)
+            make_hole(ar_state, hole)
+        sr = HamiltonReplacementController(build_hamilton_cycle(sr_state.grid))
+        ar = LocalizedReplacementController(ar_state.grid)
+        metrics = {
+            "SR": run_recovery(sr_state, sr, rng).metrics,
+            "AR": run_recovery(ar_state, ar, rng).metrics,
+        }
+        costs = per_scheme_energy_costs(metrics)
+        assert set(costs) == {"SR", "AR"}
+        # In this dense scenario SR moves less, hence consumes less energy.
+        assert costs["SR"] <= costs["AR"]

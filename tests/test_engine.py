@@ -1,0 +1,143 @@
+"""Unit tests for the round-based simulation engine."""
+
+import pytest
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.protocol import MobilityController, RoundOutcome
+from repro.core.replacement import HamiltonReplacementController
+from repro.grid.virtual_grid import GridCoord
+from repro.network.failures import TargetedCellFailure
+from repro.sim.engine import RoundBasedEngine, run_recovery
+from repro.sim.events import EventKind, EventLog
+
+from helpers import make_hole
+
+
+class NullController(MobilityController):
+    """A controller that never does anything (used to test stall detection)."""
+
+    name = "null"
+
+    def execute_round(self, state, rng, round_index):
+        return RoundOutcome(round_index=round_index)
+
+
+def sr_controller(state):
+    return HamiltonReplacementController(build_hamilton_cycle(state.grid))
+
+
+class TestTermination:
+    def test_stops_immediately_when_fully_covered(self, dense_state, rng):
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        assert result.rounds_executed == 1
+        assert result.converged
+        assert not result.stalled
+
+    def test_stops_after_repairing_all_holes(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(1, 1))
+        make_hole(dense_state, GridCoord(3, 2))
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        assert result.converged
+        assert result.metrics.final_holes == 0
+        assert result.rounds_executed < 10
+
+    def test_detects_stall_when_nothing_can_act(self, sparse_state, rng):
+        # Null controller + a hole: no progress is ever made.
+        make_hole(sparse_state, GridCoord(0, 0))
+        engine = RoundBasedEngine(sparse_state, NullController(), rng, max_rounds=50)
+        result = engine.run()
+        assert result.stalled
+        assert not result.converged
+        assert result.rounds_executed <= engine.idle_round_limit + 1
+
+    def test_max_rounds_bound_is_respected(self, sparse_state, rng):
+        make_hole(sparse_state, GridCoord(2, 2))
+        engine = RoundBasedEngine(
+            sparse_state, sr_controller(sparse_state), rng, max_rounds=3
+        )
+        result = engine.run()
+        assert result.rounds_executed <= 3
+
+    def test_invalid_parameters(self, dense_state, rng):
+        with pytest.raises(ValueError):
+            RoundBasedEngine(dense_state, NullController(), rng, max_rounds=0)
+        with pytest.raises(ValueError):
+            RoundBasedEngine(dense_state, NullController(), rng, idle_round_limit=0)
+
+
+class TestFailureSchedule:
+    def test_dynamic_holes_are_repaired(self, dense_state, rng):
+        schedule = {
+            2: TargetedCellFailure(cells=[GridCoord(2, 2)]),
+            4: TargetedCellFailure(cells=[GridCoord(0, 4)]),
+        }
+        engine = RoundBasedEngine(
+            dense_state, sr_controller(dense_state), rng, failure_schedule=schedule
+        )
+        result = engine.run()
+        assert result.converged
+        assert result.metrics.final_holes == 0
+        # The engine must not stop before the last scheduled failure fires.
+        assert result.rounds_executed > 4
+
+    def test_failure_events_logged(self, dense_state, rng):
+        log = EventLog()
+        schedule = {1: TargetedCellFailure(cells=[GridCoord(1, 1)])}
+        engine = RoundBasedEngine(
+            dense_state,
+            sr_controller(dense_state),
+            rng,
+            failure_schedule=schedule,
+            event_log=log,
+        )
+        engine.run()
+        assert log.count(EventKind.NODE_DISABLED) == 3
+        assert log.count(EventKind.NODE_MOVED) >= 1
+
+
+class TestResultContents:
+    def test_series_lengths_match_rounds(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(1, 3))
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        assert result.series.rounds == result.rounds_executed
+        assert len(result.round_outcomes) == result.rounds_executed
+        assert result.series.holes[-1] == 0
+
+    def test_cumulative_moves_series(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(1, 3))
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        cumulative = result.series.cumulative_moves
+        assert cumulative[-1] == result.metrics.total_moves
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_metrics_snapshot_fields(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(2, 0))
+        initial_spares = dense_state.spare_count
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        metrics = result.metrics
+        assert metrics.initial_holes == 1
+        assert metrics.initial_spares == initial_spares
+        assert metrics.final_holes == 0
+        assert metrics.repaired_holes == 1
+        assert metrics.cell_coverage_before < 1.0
+        assert metrics.cell_coverage_after == 1.0
+        assert metrics.scheme == "SR"
+
+    def test_event_log_records_full_trace(self, dense_state, rng):
+        log = EventLog()
+        make_hole(dense_state, GridCoord(1, 1))
+        engine = RoundBasedEngine(
+            dense_state, sr_controller(dense_state), rng, event_log=log
+        )
+        engine.run()
+        assert log.count(EventKind.PROCESS_STARTED) == 1
+        assert log.count(EventKind.PROCESS_CONVERGED) == 1
+        assert log.count(EventKind.SIMULATION_FINISHED) == 1
+        assert log.count(EventKind.ROUND_COMPLETED) >= 1
+
+    def test_finalize_called_on_shutdown(self, sparse_state, rng):
+        controller = sr_controller(sparse_state)
+        make_hole(sparse_state, GridCoord(0, 0))
+        engine = RoundBasedEngine(sparse_state, controller, rng, max_rounds=2)
+        engine.run()
+        assert not controller.active_processes()

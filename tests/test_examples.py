@@ -1,0 +1,58 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The examples are documentation as much as code, so a refactor that breaks
+them should fail the test suite.  Only the two fastest examples are executed
+in-process here; the heavier ones (jamming attack, all-baselines comparison)
+are exercised indirectly because they use exactly the same public API as the
+integration tests.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing its __main__ guard."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesAreRunnable:
+    def test_examples_directory_contents(self):
+        expected = {
+            "quickstart.py",
+            "jamming_attack.py",
+            "sparse_network_recovery.py",
+            "baseline_comparison.py",
+        }
+        present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= present
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "after SR recovery" in output
+        assert "holes remaining        : 0" in output
+        assert "analytical model" in output
+
+    def test_sparse_network_recovery_runs(self, capsys):
+        module = load_example("sparse_network_recovery")
+        module.main()
+        output = capsys.readouterr().out
+        assert "dual-path" in output.lower()
+        assert "holes remaining       : 0" in output
+
+    @pytest.mark.parametrize("name", ["jamming_attack", "baseline_comparison"])
+    def test_other_examples_import_cleanly(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,83 @@
+"""Unit tests for the control-message mailbox (one-round delivery latency)."""
+
+import pytest
+
+from repro.grid.virtual_grid import GridCoord
+from repro.network.messages import Mailbox, Message, MessageKind
+
+
+def request(source, target, sent_round, process_id=None):
+    return Message(
+        kind=MessageKind.REPLACEMENT_REQUEST,
+        source_cell=GridCoord(*source),
+        target_cell=GridCoord(*target),
+        sent_round=sent_round,
+        process_id=process_id,
+    )
+
+
+class TestMailbox:
+    def test_message_not_delivered_in_same_round(self):
+        mailbox = Mailbox()
+        mailbox.send(request((0, 0), (0, 1), sent_round=3))
+        assert mailbox.deliver(current_round=3) == {}
+        assert mailbox.pending_count == 1
+
+    def test_message_delivered_next_round(self):
+        mailbox = Mailbox()
+        message = request((0, 0), (0, 1), sent_round=3)
+        mailbox.send(message)
+        delivered = mailbox.deliver(current_round=4)
+        assert delivered == {GridCoord(0, 1): [message]}
+        assert mailbox.pending_count == 0
+        assert mailbox.delivered_count == 1
+
+    def test_delivery_consumes_messages(self):
+        mailbox = Mailbox()
+        mailbox.send(request((0, 0), (0, 1), sent_round=0))
+        mailbox.deliver(current_round=1)
+        assert mailbox.deliver(current_round=2) == {}
+
+    def test_messages_grouped_by_target(self):
+        mailbox = Mailbox()
+        mailbox.send(request((0, 0), (1, 1), sent_round=0))
+        mailbox.send(request((2, 2), (1, 1), sent_round=0))
+        mailbox.send(request((0, 0), (3, 3), sent_round=0))
+        delivered = mailbox.deliver(current_round=1)
+        assert len(delivered[GridCoord(1, 1)]) == 2
+        assert len(delivered[GridCoord(3, 3)]) == 1
+
+    def test_late_messages_stay_in_flight(self):
+        mailbox = Mailbox()
+        mailbox.send(request((0, 0), (0, 1), sent_round=0))
+        mailbox.send(request((0, 0), (0, 1), sent_round=5))
+        delivered = mailbox.deliver(current_round=1)
+        assert len(delivered[GridCoord(0, 1)]) == 1
+        assert mailbox.pending_count == 1
+
+    def test_counters(self):
+        mailbox = Mailbox()
+        for round_index in range(3):
+            mailbox.send(request((0, 0), (0, 1), sent_round=round_index))
+        assert mailbox.sent_count == 3
+        mailbox.deliver(current_round=10)
+        assert mailbox.delivered_count == 3
+
+    def test_clear(self):
+        mailbox = Mailbox()
+        mailbox.send(request((0, 0), (0, 1), sent_round=0))
+        mailbox.clear()
+        assert mailbox.pending_count == 0
+        assert mailbox.deliver(current_round=5) == {}
+
+
+class TestMessage:
+    def test_message_ids_are_unique(self):
+        a = request((0, 0), (0, 1), 0)
+        b = request((0, 0), (0, 1), 0)
+        assert a.message_id != b.message_id
+
+    def test_message_carries_process_id(self):
+        message = request((0, 0), (0, 1), 0, process_id=42)
+        assert message.process_id == 42
+        assert message.kind is MessageKind.REPLACEMENT_REQUEST

@@ -1,0 +1,129 @@
+"""Unit tests for the sensor node model."""
+
+import pytest
+
+from repro.grid.geometry import Point
+from repro.network.node import (
+    DEFAULT_BATTERY_CAPACITY,
+    MESSAGE_COST,
+    MOVE_COST_PER_METER,
+    NodeRole,
+    NodeState,
+    SensorNode,
+    enabled_only,
+    find_node,
+)
+
+
+def make_node(node_id: int = 0, x: float = 0.0, y: float = 0.0) -> SensorNode:
+    return SensorNode(node_id=node_id, position=Point(x, y))
+
+
+class TestLifecycle:
+    def test_new_node_is_enabled_and_unassigned(self):
+        node = make_node()
+        assert node.is_enabled
+        assert node.role is NodeRole.UNASSIGNED
+        assert not node.is_head
+        assert not node.is_spare
+        assert node.energy == DEFAULT_BATTERY_CAPACITY
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SensorNode(node_id=-1, position=Point(0, 0))
+        with pytest.raises(ValueError):
+            SensorNode(node_id=0, position=Point(0, 0), energy=-5)
+
+    def test_disable_removes_from_collaboration(self):
+        node = make_node()
+        node.role = NodeRole.HEAD
+        node.disable(NodeState.MISBEHAVING)
+        assert not node.is_enabled
+        assert node.state is NodeState.MISBEHAVING
+        assert node.role is NodeRole.UNASSIGNED
+
+    def test_disable_requires_non_enabled_reason(self):
+        with pytest.raises(ValueError):
+            make_node().disable(NodeState.ENABLED)
+
+    def test_enable_after_failure(self):
+        node = make_node()
+        node.disable()
+        node.enable()
+        assert node.is_enabled
+        assert node.role is NodeRole.UNASSIGNED
+
+    def test_role_predicates(self):
+        node = make_node()
+        node.role = NodeRole.HEAD
+        assert node.is_head and not node.is_spare
+        node.role = NodeRole.SPARE
+        assert node.is_spare and not node.is_head
+        node.disable()
+        assert not node.is_head and not node.is_spare
+
+
+class TestMovement:
+    def test_relocate_updates_position_and_accounting(self):
+        node = make_node()
+        distance = node.relocate(Point(3, 4))
+        assert distance == pytest.approx(5.0)
+        assert node.position == Point(3, 4)
+        assert node.moved_distance == pytest.approx(5.0)
+        assert node.move_count == 1
+
+    def test_relocate_accumulates(self):
+        node = make_node()
+        node.relocate(Point(1, 0))
+        node.relocate(Point(1, 2))
+        assert node.moved_distance == pytest.approx(3.0)
+        assert node.move_count == 2
+
+    def test_relocate_consumes_energy(self):
+        node = make_node()
+        node.relocate(Point(0, 10))
+        assert node.energy == pytest.approx(
+            DEFAULT_BATTERY_CAPACITY - 10 * MOVE_COST_PER_METER
+        )
+
+    def test_disabled_node_cannot_move(self):
+        node = make_node()
+        node.disable()
+        with pytest.raises(RuntimeError):
+            node.relocate(Point(1, 1))
+
+    def test_position_history_optional(self):
+        node = make_node()
+        node.relocate(Point(1, 1))
+        assert node.position_history == []
+        node.relocate(Point(2, 2), record_history=True)
+        assert node.position_history == [Point(1, 1)]
+
+
+class TestEnergy:
+    def test_consume_clamps_at_zero(self):
+        node = make_node()
+        node.consume_energy(DEFAULT_BATTERY_CAPACITY * 2)
+        assert node.energy == 0.0
+        assert node.is_battery_depleted
+
+    def test_consume_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_node().consume_energy(-1)
+
+    def test_message_cost(self):
+        node = make_node()
+        node.charge_message_cost(3)
+        assert node.energy == pytest.approx(DEFAULT_BATTERY_CAPACITY - 3 * MESSAGE_COST)
+
+
+class TestHelpers:
+    def test_enabled_only(self):
+        nodes = [make_node(0), make_node(1), make_node(2)]
+        nodes[1].disable()
+        assert [n.node_id for n in enabled_only(nodes)] == [0, 2]
+
+    def test_find_node(self):
+        nodes = [make_node(3), make_node(7)]
+        assert find_node(nodes, 7) is nodes[1]
+        assert find_node(nodes, 99) is None

@@ -1,0 +1,76 @@
+"""Property-based tests for the analytical model (Theorem 2 invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analysis
+
+spares = st.integers(min_value=0, max_value=2000)
+positive_spares = st.integers(min_value=1, max_value=2000)
+path_lengths = st.integers(min_value=1, max_value=400)
+cell_sizes = st.floats(min_value=0.5, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+@given(spares, path_lengths)
+def test_distribution_is_a_probability_distribution(n, length):
+    distribution = analysis.movement_distribution(n, length)
+    assert len(distribution) == length
+    assert (distribution >= -1e-12).all()
+    assert np.isclose(distribution.sum(), 1.0)
+
+
+@given(spares, path_lengths)
+def test_expected_movements_within_bounds(n, length):
+    value = analysis.expected_movements(n, length)
+    assert 1.0 - 1e-9 <= value <= length + 1e-9
+
+
+@given(spares, path_lengths)
+def test_expected_movements_equals_distribution_mean(n, length):
+    distribution = analysis.movement_distribution(n, length)
+    mean = float(np.sum(np.arange(1, length + 1) * distribution))
+    assert np.isclose(analysis.expected_movements(n, length), mean, rtol=1e-9, atol=1e-9)
+
+
+@given(spares, path_lengths)
+def test_monotone_in_spares(n, length):
+    assert analysis.expected_movements(n, length) >= analysis.expected_movements(n + 1, length) - 1e-9
+
+
+@given(positive_spares, st.integers(min_value=1, max_value=399))
+def test_monotone_in_path_length(n, length):
+    assert analysis.expected_movements(n, length) <= analysis.expected_movements(n, length + 1) + 1e-9
+
+
+@given(spares, path_lengths, cell_sizes)
+def test_distance_scales_linearly_with_cell_size(n, length, cell_size):
+    single = analysis.expected_total_distance(n, length, cell_size)
+    double = analysis.expected_total_distance(n, length, 2 * cell_size)
+    assert np.isclose(double, 2 * single, rtol=1e-9)
+
+
+@given(spares, path_lengths)
+def test_convergence_probability_is_monotone_cdf(n, length):
+    previous = 0.0
+    for hops in range(0, length + 1, max(1, length // 7)):
+        value = analysis.convergence_probability_within(n, length, hops)
+        assert value >= previous - 1e-12
+        assert -1e-12 <= value <= 1.0 + 1e-12
+        previous = value
+
+
+@given(st.integers(min_value=0, max_value=50), positive_spares, path_lengths)
+def test_network_estimates_scale_with_holes(holes, n, length):
+    per_hole = analysis.expected_movements(n, length)
+    total = analysis.expected_network_movements(holes, n, length)
+    assert np.isclose(total, holes * per_hole, rtol=1e-9)
+
+
+@given(st.integers(min_value=2, max_value=400), st.floats(min_value=1.01, max_value=20.0))
+@settings(max_examples=50)
+def test_spares_for_expected_movements_is_minimal(length, target):
+    spares_needed = analysis.spares_for_expected_movements(length, target)
+    assert analysis.expected_movements(spares_needed, length) <= target + 1e-9
+    if spares_needed > 0:
+        assert analysis.expected_movements(spares_needed - 1, length) > target

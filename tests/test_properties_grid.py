@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the virtual grid and geometry."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import (
+    GridCoord,
+    VirtualGrid,
+    cell_side_for_range,
+    required_range_for_cell,
+)
+
+grid_dims = st.integers(min_value=1, max_value=30)
+cell_sizes = st.floats(min_value=0.1, max_value=100.0, allow_nan=False, allow_infinity=False)
+coordinates = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+@given(coordinates, coordinates, coordinates, coordinates)
+def test_distance_symmetry_and_triangle_inequality(x1, y1, x2, y2):
+    a, b, origin = Point(x1, y1), Point(x2, y2), Point(0, 0)
+    assert a.distance_to(b) == b.distance_to(a)
+    assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-6
+    assert a.distance_to(b) >= 0
+
+
+@given(coordinates, coordinates)
+def test_manhattan_dominates_euclidean(x, y):
+    a, b = Point(0, 0), Point(x, y)
+    assert a.manhattan_distance_to(b) >= a.distance_to(b) - 1e-9
+
+
+@given(grid_dims, grid_dims, cell_sizes)
+def test_grid_enumeration_is_complete_and_unique(columns, rows, cell_size):
+    grid = VirtualGrid(columns, rows, cell_size)
+    coords = list(grid.all_coords())
+    assert len(coords) == columns * rows
+    assert len(set(coords)) == columns * rows
+    assert all(grid.contains_coord(c) for c in coords)
+
+
+@given(grid_dims, grid_dims, cell_sizes, st.integers(0, 10_000))
+@settings(max_examples=60)
+def test_cell_of_round_trip(columns, rows, cell_size, salt):
+    """Any point of the area maps to a cell whose bounds contain it."""
+    grid = VirtualGrid(columns, rows, cell_size)
+    # Derive an in-bounds point deterministically from the salt.
+    fx = (salt % 101) / 100.0
+    fy = (salt % 97) / 96.0
+    point = Point(
+        grid.bounds.min_x + fx * grid.bounds.width,
+        grid.bounds.min_y + fy * grid.bounds.height,
+    )
+    coord = grid.cell_of(point)
+    assert grid.contains_coord(coord)
+    assert grid.cell_bounds(coord).contains(point, tolerance=1e-9)
+
+
+@given(grid_dims, grid_dims, cell_sizes)
+def test_neighbour_relation_is_symmetric_and_adjacent(columns, rows, cell_size):
+    grid = VirtualGrid(columns, rows, cell_size)
+    for coord in grid.all_coords():
+        for neighbour in grid.neighbours(coord):
+            assert coord in grid.neighbours(neighbour)
+            assert coord.manhattan_distance_to(neighbour) == 1
+            # Neighbouring cell centres are exactly one cell side apart.
+            assert math.isclose(
+                grid.center_distance(coord, neighbour), cell_size, rel_tol=1e-9
+            )
+
+
+@given(grid_dims, grid_dims, cell_sizes)
+def test_cell_areas_tile_the_surveillance_area(columns, rows, cell_size):
+    grid = VirtualGrid(columns, rows, cell_size)
+    total_cells_area = sum(grid.cell_bounds(c).area for c in grid.all_coords())
+    assert math.isclose(total_cells_area, grid.bounds.area, rel_tol=1e-9)
+
+
+@given(cell_sizes)
+def test_range_cell_relation_round_trip(cell_size):
+    assert math.isclose(
+        cell_side_for_range(required_range_for_cell(cell_size)), cell_size, rel_tol=1e-12
+    )
+
+
+@given(grid_dims, grid_dims, cell_sizes)
+def test_central_area_is_centered_quarter(columns, rows, cell_size):
+    grid = VirtualGrid(columns, rows, cell_size)
+    coord = GridCoord(columns - 1, rows - 1)
+    central = grid.central_area(coord)
+    bounds = grid.cell_bounds(coord)
+    assert math.isclose(central.area, bounds.area / 4.0, rel_tol=1e-9)
+    assert math.isclose(central.center.x, bounds.center.x, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(central.center.y, bounds.center.y, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,96 @@
+"""Property-based tests for the Hamilton cycle constructions.
+
+These are the structural guarantees the whole SR scheme rests on: for *every*
+grid shape the construction must visit each cell exactly once, only step
+between neighbouring cells, and designate exactly one initiator per vacancy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hamilton import (
+    DualPathHamiltonCycle,
+    SerpentineHamiltonCycle,
+    build_hamilton_cycle,
+)
+from repro.grid.virtual_grid import VirtualGrid
+
+dims = st.integers(min_value=2, max_value=24)
+odd_dims = st.integers(min_value=1, max_value=11).map(lambda k: 2 * k + 1)
+
+
+@given(dims, dims)
+@settings(max_examples=80)
+def test_factory_always_produces_a_valid_structure(columns, rows):
+    cycle = build_hamilton_cycle(VirtualGrid(columns, rows, 1.0))
+    cycle.validate()
+    assert cycle.replacement_path_length >= columns * rows - 2
+
+
+@given(dims, dims)
+@settings(max_examples=60)
+def test_every_vacancy_has_exactly_one_initiator(columns, rows):
+    grid = VirtualGrid(columns, rows, 1.0)
+    cycle = build_hamilton_cycle(grid)
+    for vacant in grid.all_coords():
+        initiator = cycle.initiator_for(vacant, has_spare=lambda _c: False, origin=vacant)
+        assert initiator is not None
+        assert initiator != vacant
+        assert grid.contains_coord(initiator)
+        assert initiator.is_neighbour_of(vacant)
+
+
+@given(dims, dims)
+@settings(max_examples=60)
+def test_serpentine_successor_is_a_permutation(columns, rows):
+    if (columns * rows) % 2 != 0:
+        columns += 1  # make the cell count even so the serpentine cycle exists
+    grid = VirtualGrid(columns, rows, 1.0)
+    cycle = SerpentineHamiltonCycle(grid)
+    successors = [cycle.successor(coord) for coord in grid.all_coords()]
+    assert len(set(successors)) == grid.cell_count
+    # Following successors from any start visits every cell (single cycle).
+    current = next(grid.all_coords().__iter__())
+    seen = set()
+    for _ in range(grid.cell_count):
+        seen.add(current)
+        current = cycle.successor(current)
+    assert len(seen) == grid.cell_count
+
+
+@given(odd_dims, odd_dims)
+@settings(max_examples=40)
+def test_dual_path_structure_properties(columns, rows):
+    grid = VirtualGrid(columns, rows, 1.0)
+    cycle = DualPathHamiltonCycle(grid)
+    cycle.validate()
+    chain = cycle.shared_chain()
+    all_cells = set(grid.all_coords())
+    assert len(chain) == columns * rows - 2
+    assert set(chain) == all_cells - {cycle.cell_a, cycle.cell_b}
+    # Both paths are Hamilton paths and share the whole chain.
+    for path in (cycle.path_one(), cycle.path_two()):
+        assert set(path) == all_cells
+        for a, b in zip(path, path[1:]):
+            assert a.is_neighbour_of(b)
+    assert cycle.path_one()[1:-1] == cycle.path_two()[1:-1]
+    # Junction cells are mutual neighbours of A and B as Section 4 requires.
+    for junction in (cycle.cell_c, cycle.cell_d):
+        assert junction.is_neighbour_of(cycle.cell_a)
+        assert junction.is_neighbour_of(cycle.cell_b)
+
+
+@given(dims, dims, st.integers(min_value=0, max_value=400))
+@settings(max_examples=40)
+def test_upstream_distance_is_bounded_by_cycle_length(columns, rows, salt):
+    if (columns * rows) % 2 != 0:
+        rows += 1
+    grid = VirtualGrid(columns, rows, 1.0)
+    cycle = SerpentineHamiltonCycle(grid)
+    cells = list(grid.all_coords())
+    vacant = cells[salt % len(cells)]
+    supplier = cells[(salt * 7 + 3) % len(cells)]
+    distance = cycle.upstream_distance(vacant, supplier)
+    assert 0 <= distance < cycle.cycle_length
+    if supplier == vacant:
+        assert distance == 0

@@ -1,0 +1,108 @@
+"""Property-based tests for the SR replacement scheme.
+
+The key end-to-end guarantees of the paper, checked over randomly generated
+scenarios:
+
+* Theorem 1 / Corollary 1: every hole is repaired whenever the network holds
+  enough spare nodes, on both the serpentine and the dual-path constructions;
+* exactly one replacement process is initiated per hole;
+* the state invariants (one head per occupied cell, membership index
+  consistent) survive arbitrary recoveries;
+* nodes only ever move between neighbouring cells.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.grid.virtual_grid import VirtualGrid
+from repro.network.deployment import deploy_per_cell_counts
+from repro.network.state import WsnState
+from repro.sim.engine import run_recovery
+
+
+@st.composite
+def recovery_scenarios(draw):
+    """A random grid, a random occupancy pattern, and a random set of holes."""
+    columns = draw(st.integers(min_value=2, max_value=8))
+    rows = draw(st.integers(min_value=2, max_value=8))
+    grid = VirtualGrid(columns, rows, cell_size=2.0)
+    cells = list(grid.all_coords())
+    # Each cell gets 0-3 nodes; cells with 0 nodes start as holes.
+    counts = {
+        coord: draw(st.integers(min_value=0, max_value=3)) for coord in cells
+    }
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return grid, counts, seed
+
+
+def build_state(grid, counts, seed):
+    rng = random.Random(seed)
+    nodes = deploy_per_cell_counts(grid, {c: n for c, n in counts.items() if n > 0}, rng)
+    return WsnState(grid, nodes), rng
+
+
+@given(recovery_scenarios())
+@settings(max_examples=50, deadline=None)
+def test_recovery_repairs_all_holes_when_spares_suffice(scenario):
+    grid, counts, seed = scenario
+    state, rng = build_state(grid, counts, seed)
+    holes_before = state.hole_count
+    spares_before = state.spare_count
+    controller = HamiltonReplacementController(build_hamilton_cycle(grid))
+    result = run_recovery(state, controller, rng)
+
+    state.check_invariants()
+    if spares_before >= holes_before:
+        # Theorem 1 / Corollary 1: complete coverage is restored.
+        assert result.metrics.final_holes == 0
+        assert result.metrics.success_rate == 1.0
+    else:
+        # Not enough spares: at least the deficit remains uncovered, and the
+        # scheme never makes the coverage worse than it started.
+        assert result.metrics.final_holes >= holes_before - spares_before
+        assert result.metrics.final_holes <= holes_before
+
+    # One and only one process per detected hole (original holes only).
+    assert result.metrics.processes_initiated <= holes_before
+    # The number of enabled nodes never changes: SR only relocates nodes.
+    assert state.enabled_count == sum(counts.values())
+
+
+@given(recovery_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_every_move_is_between_neighbouring_cells(scenario):
+    grid, counts, seed = scenario
+    state, rng = build_state(grid, counts, seed)
+    controller = HamiltonReplacementController(build_hamilton_cycle(grid))
+    run_recovery(state, controller, rng)
+    for process in controller.processes():
+        for move in process.moves:
+            assert move.source_cell.is_neighbour_of(move.target_cell)
+            assert grid.central_area(move.target_cell).contains(move.target_position)
+
+
+@given(recovery_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_process_accounting_is_consistent(scenario):
+    grid, counts, seed = scenario
+    state, rng = build_state(grid, counts, seed)
+    controller = HamiltonReplacementController(build_hamilton_cycle(grid))
+    result = run_recovery(state, controller, rng)
+
+    assert controller.total_processes == (
+        controller.converged_processes
+        + controller.failed_processes
+        + len(controller.active_processes())
+    )
+    assert result.metrics.total_moves == sum(
+        p.move_count for p in controller.processes()
+    )
+    assert result.metrics.total_distance >= 0.0
+    # Converged processes end with their origin hole covered.
+    for process in controller.processes():
+        if process.converged:
+            assert not state.is_vacant(process.origin_cell)

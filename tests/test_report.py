@@ -1,0 +1,157 @@
+"""Unit tests for the shape-analysis / report module."""
+
+import pytest
+
+from repro.experiments.report import (
+    ShapeCheck,
+    check_dominates,
+    check_monotone_decreasing,
+    check_tracks,
+    find_crossover,
+    render_markdown_report,
+    section5_shape_checks,
+    series_ratio,
+)
+from repro.experiments.results import ExperimentResult
+
+
+def make_experiment():
+    """A small synthetic comparison table shaped like the paper's Figures 6-8."""
+    result = ExperimentResult(
+        name="synthetic sweep",
+        columns=[
+            "N",
+            "holes",
+            "SR_processes",
+            "AR_processes",
+            "SR_success_rate",
+            "AR_success_rate",
+            "SR_moves",
+            "AR_moves",
+            "SR_distance",
+            "AR_distance",
+            "SR_moves_analytic",
+            "SR_distance_analytic",
+        ],
+        description="synthetic data for unit tests",
+    )
+    rows = [
+        # N, holes, SRp, ARp, SRsucc, ARsucc, SRmoves, ARmoves, SRdist, ARdist, SRa, SRda
+        (10, 80, 80, 240, 1.0, 0.7, 1300, 400, 6200, 1800, 1800, 9000),
+        (55, 70, 70, 200, 1.0, 0.8, 350, 280, 1600, 1300, 340, 1650),
+        (200, 40, 40, 130, 1.0, 0.9, 90, 140, 430, 650, 70, 340),
+        (600, 5, 5, 18, 1.0, 1.0, 5, 20, 20, 80, 5, 22),
+    ]
+    for row in rows:
+        result.add_row(
+            N=row[0],
+            holes=row[1],
+            SR_processes=row[2],
+            AR_processes=row[3],
+            SR_success_rate=row[4],
+            AR_success_rate=row[5],
+            SR_moves=row[6],
+            AR_moves=row[7],
+            SR_distance=row[8],
+            AR_distance=row[9],
+            SR_moves_analytic=row[10],
+            SR_distance_analytic=row[11],
+        )
+    return result
+
+
+class TestPrimitives:
+    def test_series_ratio(self):
+        experiment = make_experiment()
+        ratios = dict(series_ratio(experiment, "N", "AR_processes", "SR_processes"))
+        assert ratios[10] == pytest.approx(3.0)
+        assert ratios[600] == pytest.approx(3.6)
+
+    def test_find_crossover(self):
+        experiment = make_experiment()
+        crossover = find_crossover(experiment, "N", "SR_moves", "AR_moves")
+        assert crossover == 200
+
+    def test_find_crossover_none_when_never_below(self):
+        result = ExperimentResult(name="t", columns=["N", "a", "b"])
+        result.add_row(N=1, a=10, b=5)
+        result.add_row(N=2, a=9, b=5)
+        assert find_crossover(result, "N", "a", "b") is None
+
+    def test_check_dominates(self):
+        experiment = make_experiment()
+        ok = check_dominates(experiment, "N", "SR_processes", "AR_processes", factor=1.9)
+        assert ok.holds
+        too_strict = check_dominates(experiment, "N", "SR_processes", "AR_processes", factor=4.0)
+        assert not too_strict.holds
+        assert "violated" in too_strict.details
+
+    def test_check_monotone_decreasing(self):
+        experiment = make_experiment()
+        assert check_monotone_decreasing(experiment, "N", "SR_moves").holds
+        result = ExperimentResult(name="t", columns=["N", "y"])
+        result.add_row(N=1, y=10.0)
+        result.add_row(N=2, y=50.0)
+        assert not check_monotone_decreasing(result, "N", "y").holds
+
+    def test_check_tracks(self):
+        experiment = make_experiment()
+        assert check_tracks(experiment, "N", "SR_moves", "SR_moves_analytic", rel_band=1.5).holds
+        assert not check_tracks(
+            experiment, "N", "AR_moves", "SR_moves_analytic", rel_band=0.05
+        ).holds
+
+    def test_shapecheck_str(self):
+        check = ShapeCheck(claim="x" * 100, holds=True, details="fine")
+        text = str(check)
+        assert text.startswith("[OK ]")
+        assert "..." in text
+
+
+class TestSection5Checks:
+    def test_all_claims_hold_on_well_shaped_data(self):
+        checks = section5_shape_checks(make_experiment())
+        assert checks, "at least one claim is evaluated"
+        assert all(check.holds for check in checks)
+
+    def test_detects_broken_success_rate(self):
+        experiment = make_experiment()
+        experiment.rows[0]["SR_success_rate"] = 0.5
+        checks = section5_shape_checks(experiment)
+        success_check = next(c for c in checks if "success rate" in c.claim)
+        assert not success_check.holds
+
+    def test_real_sweep_passes_shape_checks(self):
+        """A real (small) sweep of the actual simulator satisfies the claims."""
+        from repro.experiments.figures import run_section5_experiment
+        from repro.sim.scenario import ScenarioConfig
+
+        experiment = run_section5_experiment(
+            spare_values=[10, 60, 200],
+            config=ScenarioConfig(columns=8, rows=8, deployed_count=400, seed=17),
+            trials=1,
+        )
+        checks = section5_shape_checks(experiment)
+        # The crossover and tracking claims are grid-size dependent; the
+        # process-count and success-rate claims must hold even on this tiny grid.
+        by_claim = {check.claim: check for check in checks}
+        assert by_claim["SR_processes stays below AR_processes (factor 1.9)"].holds
+        assert by_claim["SR success rate is 100% for every N"].holds
+
+
+class TestMarkdownReport:
+    def test_report_contains_table_and_checks(self):
+        experiment = make_experiment()
+        report = render_markdown_report(experiment, title="demo report")
+        assert report.startswith("# demo report")
+        assert "| N |" in report
+        assert "Shape checks" in report
+        assert "shape checks hold" in report
+        assert "✅" in report
+
+    def test_report_with_explicit_checks(self):
+        experiment = make_experiment()
+        checks = [ShapeCheck(claim="custom claim", holds=False, details="nope")]
+        report = render_markdown_report(experiment, checks=checks)
+        assert "❌ custom claim" in report
+        assert "0 / 1" in report

@@ -1,0 +1,93 @@
+"""Unit tests for the Section-5 scenario configuration and builder."""
+
+import pytest
+
+from repro.sim.scenario import HEAD_POLICIES, ScenarioConfig, build_scenario_state
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.columns == 16 and config.rows == 16
+        assert config.communication_range == 10.0
+        assert config.deployed_count == 5000
+        assert config.cell_size == pytest.approx(4.4721, abs=1e-4)
+        assert config.cell_count == 256
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(columns=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(communication_range=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(deployed_count=-1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(spare_surplus=-5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(head_policy="no-such-policy")
+        with pytest.raises(ValueError):
+            ScenarioConfig(deployment="hexagonal")
+
+    def test_target_enabled(self):
+        assert ScenarioConfig(spare_surplus=40).target_enabled == 256 + 40
+        assert ScenarioConfig().target_enabled is None
+
+    def test_with_helpers_return_copies(self):
+        base = ScenarioConfig(seed=1)
+        changed = base.with_spare_surplus(99).with_seed(7)
+        assert changed.spare_surplus == 99 and changed.seed == 7
+        assert base.spare_surplus is None and base.seed == 1
+
+    def test_head_policy_lookup(self):
+        for name in HEAD_POLICIES:
+            assert ScenarioConfig(head_policy=name).head_policy_fn is HEAD_POLICIES[name]
+
+    def test_make_grid(self):
+        grid = ScenarioConfig(columns=8, rows=6).make_grid()
+        assert grid.columns == 8 and grid.rows == 6
+        assert grid.cell_size == pytest.approx(4.4721, abs=1e-4)
+
+
+class TestBuildScenario:
+    def test_thinning_gives_requested_enabled_count(self):
+        config = ScenarioConfig(
+            columns=8, rows=8, deployed_count=500, spare_surplus=30, seed=3
+        )
+        state = build_scenario_state(config)
+        assert state.node_count == 500
+        assert state.enabled_count == 64 + 30
+        # The defining relation of the workload: spares exceed holes by N.
+        assert state.spare_surplus == 30
+
+    def test_no_thinning_without_spare_surplus(self):
+        config = ScenarioConfig(columns=8, rows=8, deployed_count=300, seed=3)
+        state = build_scenario_state(config)
+        assert state.enabled_count == 300
+
+    def test_reproducible_builds(self):
+        config = ScenarioConfig(columns=8, rows=8, deployed_count=400, spare_surplus=20, seed=11)
+        a = build_scenario_state(config)
+        b = build_scenario_state(config)
+        assert a.occupancy() == b.occupancy()
+        assert a.heads() == b.heads()
+
+    def test_different_seeds_differ(self):
+        base = ScenarioConfig(columns=8, rows=8, deployed_count=400, spare_surplus=20)
+        a = build_scenario_state(base.with_seed(1))
+        b = build_scenario_state(base.with_seed(2))
+        assert a.occupancy() != b.occupancy()
+
+    def test_per_cell_deployment(self):
+        config = ScenarioConfig(
+            columns=6, rows=6, deployed_count=72, deployment="per_cell", seed=5
+        )
+        state = build_scenario_state(config)
+        assert state.hole_count == 0
+        assert all(count == 2 for count in state.occupancy().values())
+
+    def test_heads_elected_in_built_state(self):
+        config = ScenarioConfig(columns=8, rows=8, deployed_count=600, spare_surplus=64, seed=9)
+        state = build_scenario_state(config)
+        state.check_invariants()
+        for coord in state.occupied_cells():
+            assert state.head_of(coord) is not None

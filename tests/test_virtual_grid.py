@@ -1,0 +1,198 @@
+"""Unit tests for the virtual grid partition (Section 2 model)."""
+
+import math
+import random
+
+import pytest
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.virtual_grid import (
+    AVERAGE_MOVE_FACTOR,
+    GAF_RANGE_FACTOR,
+    GridCoord,
+    VirtualGrid,
+    cell_side_for_range,
+    move_distance_bounds,
+    random_point_in_box,
+    required_range_for_cell,
+)
+
+
+class TestGridCoord:
+    def test_neighbour_relation(self):
+        assert GridCoord(1, 1).is_neighbour_of(GridCoord(1, 2))
+        assert GridCoord(1, 1).is_neighbour_of(GridCoord(0, 1))
+        assert not GridCoord(1, 1).is_neighbour_of(GridCoord(2, 2)), "diagonal is not a neighbour"
+        assert not GridCoord(1, 1).is_neighbour_of(GridCoord(1, 1))
+
+    def test_directional_helpers(self):
+        c = GridCoord(2, 3)
+        assert c.north() == GridCoord(2, 4)
+        assert c.south() == GridCoord(2, 2)
+        assert c.east() == GridCoord(3, 3)
+        assert c.west() == GridCoord(1, 3)
+
+    def test_ordering_and_hash(self):
+        assert GridCoord(0, 1) < GridCoord(1, 0)
+        assert len({GridCoord(1, 1), GridCoord(1, 1)}) == 1
+
+    def test_manhattan_distance(self):
+        assert GridCoord(0, 0).manhattan_distance_to(GridCoord(3, 4)) == 7
+
+
+class TestRangeCellRelation:
+    def test_paper_values(self):
+        """R = 10 m gives the 4.4721 m cell used in Section 5."""
+        assert cell_side_for_range(10.0) == pytest.approx(4.4721, abs=1e-4)
+        assert required_range_for_cell(4.4721) == pytest.approx(10.0, abs=1e-3)
+
+    def test_factors(self):
+        assert GAF_RANGE_FACTOR == pytest.approx(math.sqrt(5))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cell_side_for_range(0)
+        with pytest.raises(ValueError):
+            required_range_for_cell(-1)
+
+
+class TestVirtualGridShape:
+    def test_basic_properties(self, small_grid):
+        assert small_grid.columns == 4
+        assert small_grid.rows == 5
+        assert small_grid.cell_count == 20
+        assert small_grid.bounds == BoundingBox(0, 0, 4, 5)
+        assert small_grid.required_communication_range == pytest.approx(math.sqrt(5))
+
+    def test_rejects_degenerate_grids(self):
+        with pytest.raises(ValueError):
+            VirtualGrid(0, 3, 1.0)
+        with pytest.raises(ValueError):
+            VirtualGrid(3, 3, 0.0)
+
+    def test_equality_and_hash(self):
+        a = VirtualGrid(3, 3, 1.0)
+        b = VirtualGrid(3, 3, 1.0)
+        c = VirtualGrid(3, 4, 1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_for_area_covers_requested_area(self):
+        grid = VirtualGrid.for_area(width=50.0, height=30.0, communication_range=10.0)
+        assert grid.cell_size == pytest.approx(4.4721, abs=1e-4)
+        assert grid.columns * grid.cell_size >= 50.0 - 1e-9
+        assert grid.rows * grid.cell_size >= 30.0 - 1e-9
+
+    def test_edge_and_corner_cells(self, small_grid):
+        assert small_grid.is_corner_cell(GridCoord(0, 0))
+        assert small_grid.is_corner_cell(GridCoord(3, 4))
+        assert small_grid.is_edge_cell(GridCoord(0, 2))
+        assert not small_grid.is_edge_cell(GridCoord(1, 1))
+        assert not small_grid.is_corner_cell(GridCoord(0, 2))
+
+
+class TestVirtualGridMembership:
+    def test_contains_and_validate(self, small_grid):
+        assert small_grid.contains_coord(GridCoord(3, 4))
+        assert not small_grid.contains_coord(GridCoord(4, 0))
+        assert not small_grid.contains_coord(GridCoord(0, -1))
+        with pytest.raises(ValueError):
+            small_grid.validate_coord(GridCoord(4, 4))
+
+    def test_all_coords_enumeration(self, small_grid):
+        coords = list(small_grid.all_coords())
+        assert len(coords) == 20
+        assert len(set(coords)) == 20
+        assert coords[0] == GridCoord(0, 0)
+        assert coords[-1] == GridCoord(3, 4)
+
+    def test_neighbours_interior_cell(self, small_grid):
+        neighbours = small_grid.neighbours(GridCoord(1, 1))
+        assert set(neighbours) == {
+            GridCoord(1, 2),
+            GridCoord(1, 0),
+            GridCoord(2, 1),
+            GridCoord(0, 1),
+        }
+
+    def test_neighbours_corner_cell(self, small_grid):
+        assert set(small_grid.neighbours(GridCoord(0, 0))) == {
+            GridCoord(0, 1),
+            GridCoord(1, 0),
+        }
+
+    def test_diagonal_neighbours(self, small_grid):
+        assert set(small_grid.diagonal_neighbours(GridCoord(0, 0))) == {GridCoord(1, 1)}
+        assert len(small_grid.diagonal_neighbours(GridCoord(1, 1))) == 4
+
+    def test_row_and_column(self, small_grid):
+        assert small_grid.row(0) == [GridCoord(x, 0) for x in range(4)]
+        assert small_grid.column(3) == [GridCoord(3, y) for y in range(5)]
+        with pytest.raises(ValueError):
+            small_grid.row(5)
+        with pytest.raises(ValueError):
+            small_grid.column(4)
+
+
+class TestCoordinateMapping:
+    def test_cell_of_maps_points_to_cells(self, small_grid):
+        assert small_grid.cell_of(Point(0.5, 0.5)) == GridCoord(0, 0)
+        assert small_grid.cell_of(Point(3.99, 4.99)) == GridCoord(3, 4)
+
+    def test_cell_of_boundary_points(self, small_grid):
+        # Points on the outer boundary belong to the last row/column.
+        assert small_grid.cell_of(Point(4.0, 5.0)) == GridCoord(3, 4)
+        # Interior shared edges belong to the higher-indexed cell.
+        assert small_grid.cell_of(Point(1.0, 0.5)) == GridCoord(1, 0)
+
+    def test_cell_of_outside_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.cell_of(Point(4.5, 1.0))
+
+    def test_cell_bounds_and_center(self, small_grid):
+        bounds = small_grid.cell_bounds(GridCoord(2, 3))
+        assert bounds == BoundingBox(2, 3, 3, 4)
+        assert small_grid.cell_center(GridCoord(2, 3)) == Point(2.5, 3.5)
+
+    def test_central_area_is_half_sized(self, small_grid):
+        area = small_grid.central_area(GridCoord(1, 1))
+        assert area.width == pytest.approx(0.5)
+        assert area.height == pytest.approx(0.5)
+        assert area.center == small_grid.cell_center(GridCoord(1, 1))
+
+    def test_center_distance(self, small_grid):
+        assert small_grid.center_distance(GridCoord(0, 0), GridCoord(1, 0)) == pytest.approx(1.0)
+        assert small_grid.center_distance(GridCoord(0, 0), GridCoord(0, 3)) == pytest.approx(3.0)
+
+    def test_cell_of_is_consistent_with_cell_bounds(self, paper_grid):
+        rng = random.Random(3)
+        for _ in range(200):
+            point = random_point_in_box(paper_grid.bounds, rng)
+            coord = paper_grid.cell_of(point)
+            assert paper_grid.cell_bounds(coord).contains(point, tolerance=1e-9)
+
+    def test_coords_in_box(self, small_grid):
+        coords = small_grid.coords_in_box(BoundingBox(0.5, 0.5, 1.5, 1.5))
+        assert set(coords) == {
+            GridCoord(0, 0),
+            GridCoord(1, 0),
+            GridCoord(0, 1),
+            GridCoord(1, 1),
+        }
+
+
+class TestMoveDistanceModel:
+    def test_bounds_match_paper(self):
+        low, high = move_distance_bounds(10.0)
+        assert low == pytest.approx(2.5)
+        assert high == pytest.approx(math.sqrt(58) / 4 * 10.0)
+
+    def test_average_factor(self):
+        assert AVERAGE_MOVE_FACTOR == pytest.approx(1.08)
+
+    def test_random_point_in_box_stays_inside(self):
+        rng = random.Random(0)
+        box = BoundingBox(2, 3, 4, 8)
+        for _ in range(100):
+            assert box.contains(random_point_in_box(box, rng))

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII grid renderer."""
+
+import pytest
+
+from repro.core.hamilton import DualPathHamiltonCycle, SerpentineHamiltonCycle
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.viz.ascii_grid import (
+    render_cycle,
+    render_dual_paths,
+    render_occupancy,
+    render_path_overlay,
+    render_roles,
+)
+
+from helpers import make_hole
+
+
+class TestOccupancyRendering:
+    def test_counts_and_holes(self, dense_state):
+        make_hole(dense_state, GridCoord(0, 4))
+        text = render_occupancy(dense_state)
+        assert "3" in text
+        assert "." in text
+        # One bordered line per grid row plus the outer borders.
+        assert text.count("\n") == 2 * dense_state.grid.rows
+
+    def test_row_orientation_top_is_max_y(self, sparse_state):
+        """The first rendered row corresponds to the highest y (paper orientation)."""
+        make_hole(sparse_state, GridCoord(0, 4))
+        lines = render_occupancy(sparse_state).splitlines()
+        first_cell_row = lines[1]
+        assert first_cell_row.strip().startswith("|") and "." in first_cell_row
+
+    def test_roles_rendering(self, dense_state):
+        make_hole(dense_state, GridCoord(1, 1))
+        text = render_roles(dense_state)
+        assert "H+2" in text
+        assert "." in text
+
+    def test_roles_head_only(self, sparse_state):
+        assert "H" in render_roles(sparse_state)
+        assert "H+1" not in render_roles(sparse_state)
+
+
+class TestCycleRendering:
+    def test_all_indices_present(self):
+        grid = VirtualGrid(4, 5, 1.0)
+        text = render_cycle(SerpentineHamiltonCycle(grid))
+        for index in range(20):
+            assert str(index) in text
+
+    def test_arrows_present(self):
+        grid = VirtualGrid(4, 4, 1.0)
+        text = render_cycle(SerpentineHamiltonCycle(grid))
+        assert any(arrow in text for arrow in "^v<>")
+
+    def test_dual_path_rendering_labels(self):
+        grid = VirtualGrid(5, 5, 1.0)
+        cycle = DualPathHamiltonCycle(grid)
+        text = render_dual_paths(cycle)
+        assert " A " in text or "A" in text
+        assert "D0" in text  # D is the first chain cell
+        assert "C22" in text  # C is the last chain cell of the 5x5 construction
+
+    def test_path_overlay(self):
+        grid = VirtualGrid(3, 3, 1.0)
+        path = [GridCoord(0, 0), GridCoord(1, 0), GridCoord(1, 1)]
+        text = render_path_overlay(grid, path)
+        assert "0" in text and "1" in text and "2" in text
