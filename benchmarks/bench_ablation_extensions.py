@@ -20,7 +20,7 @@ from repro.core.hamilton import build_hamilton_cycle
 from repro.core.replacement import HamiltonReplacementController
 from repro.core.shortcut import ShortcutReplacementController
 from repro.experiments.results import ExperimentResult
-from repro.experiments.sweep import SCHEME_FACTORIES, make_controller
+from repro.experiments.registry import available_schemes, make_controller
 from repro.sim.engine import run_recovery
 from repro.sim.rng import derive_rng
 from repro.sim.scenario import ScenarioConfig, build_scenario_state
@@ -139,7 +139,7 @@ def test_extension_all_schemes_comparison(benchmark, results_dir):
             ],
             description=f"N = 60, {base_state.enabled_count} enabled nodes",
         )
-        for scheme in SCHEME_FACTORIES:
+        for scheme in available_schemes():
             state = base_state.clone()
             controller = make_controller(scheme, state)
             metrics = run_recovery(

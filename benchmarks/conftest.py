@@ -5,15 +5,26 @@ sweep, so that sweep runs once per pytest session and is shared by the three
 benchmark modules.  Every benchmark writes the series it regenerates to
 ``benchmarks/results/*.csv`` so the numbers can be compared against the
 paper's figures (see EXPERIMENTS.md) without re-running anything.
+
+The sweep goes through the orchestration layer
+(:mod:`repro.experiments.orchestration`):
+
+* ``REPRO_BENCH_JOBS=<n>`` runs the sweep cells on ``n`` worker processes
+  (identical results, shorter session start-up);
+* ``REPRO_BENCH_CACHE_DIR=<dir>`` persists the run records so repeated
+  benchmark sessions skip the simulations entirely.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.figures import run_section5_experiment
+from repro.experiments.orchestration import make_executor
+from repro.experiments.persistence import RunCache
 from repro.experiments.results import ExperimentResult
 from repro.sim.scenario import ScenarioConfig
 
@@ -36,8 +47,15 @@ def section5_experiment() -> ExperimentResult:
         deployed_count=5000,
         seed=2008,
     )
+    executor = make_executor(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    cache = RunCache(cache_dir) if cache_dir else None
     return run_section5_experiment(
-        spare_values=BENCH_SPARE_VALUES, config=config, trials=1
+        spare_values=BENCH_SPARE_VALUES,
+        config=config,
+        trials=1,
+        executor=executor,
+        cache=cache,
     )
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro import ScenarioConfig, build_scenario_state, derive_rng
 from repro.experiments.plotting import format_table
-from repro.experiments.sweep import SCHEME_FACTORIES, make_controller
+from repro.experiments.registry import available_schemes, make_controller
 from repro.sim.engine import run_recovery
 
 
@@ -36,7 +36,7 @@ def main() -> None:
     print()
 
     rows = []
-    for scheme in SCHEME_FACTORIES:
+    for scheme in available_schemes():
         state = base_state.clone()
         controller = make_controller(scheme, state)
         result = run_recovery(

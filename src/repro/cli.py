@@ -36,12 +36,17 @@ from repro.experiments.figures import (
     figure8_total_distance,
     run_section5_experiment,
 )
+from repro.experiments.orchestration import (
+    RunExecutor,
+    RunSpec,
+    execute_many,
+    make_executor,
+)
+from repro.experiments.persistence import RunCache
 from repro.experiments.plotting import ascii_chart
+from repro.experiments.registry import available_schemes
 from repro.experiments.results import ExperimentResult
-from repro.experiments.sweep import SCHEME_FACTORIES, make_controller
-from repro.sim.engine import run_recovery
-from repro.sim.rng import derive_rng
-from repro.sim.scenario import ScenarioConfig, build_scenario_state
+from repro.sim.scenario import ScenarioConfig
 
 #: Figures that need the experimental SR-vs-AR sweep (as opposed to analysis only).
 EXPERIMENTAL_FIGURES = ("fig6", "fig7", "fig8")
@@ -82,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--trials", type=int, default=1, help="trials to average for figures 6-8"
     )
+    _add_execution_arguments(figures)
 
     compare = subparsers.add_parser(
         "compare", help="run several schemes on one identical scenario"
@@ -99,9 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         nargs="+",
         default=["SR", "AR"],
-        choices=sorted(SCHEME_FACTORIES),
+        choices=list(available_schemes()),
         help="schemes to run",
     )
+    _add_execution_arguments(compare)
 
     analyze = subparsers.add_parser(
         "analyze", help="evaluate the Theorem-2 analytical model"
@@ -123,7 +130,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared orchestration flags of the simulation-running commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation runs (1 = serial; "
+        "results are identical to serial for the same seeds)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist run records here and reuse them on repeated invocations",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching even when --cache-dir is given",
+    )
+
+
 # ------------------------------------------------------------------ commands
+def _execution_backend(
+    args: argparse.Namespace,
+) -> tuple[RunExecutor, Optional[RunCache]]:
+    """Executor + optional cache as selected by the shared CLI flags."""
+    executor = make_executor(args.jobs)
+    cache: Optional[RunCache] = None
+    if args.cache_dir is not None and not args.no_cache:
+        cache = RunCache(args.cache_dir)
+    return executor, cache
+
+
 def _emit(result: ExperimentResult, csv_dir: Optional[Path], filename: str) -> None:
     print(result.format())
     if csv_dir is not None:
@@ -155,9 +195,17 @@ def _figures_command(args: argparse.Namespace) -> int:
     if wanted & set(EXPERIMENTAL_FIGURES):
         spare_values = QUICK_SPARE_VALUES if args.quick else PAPER_SPARE_VALUES
         config = ScenarioConfig(seed=args.seed)
+        executor, cache = _execution_backend(args)
         experiment = run_section5_experiment(
-            spare_values=spare_values, config=config, trials=args.trials
+            spare_values=spare_values,
+            config=config,
+            trials=args.trials,
+            executor=executor,
+            cache=cache,
         )
+        if cache is not None and cache.hits:
+            print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+            print()
         if "fig6" in wanted:
             result = figure6_processes_and_success(experiment)
             _emit(result, args.csv_dir, "fig6_processes_success.csv")
@@ -219,11 +267,17 @@ def _compare_command(args: argparse.Namespace) -> int:
         spare_surplus=args.spare_surplus,
         seed=args.seed,
     )
-    base_state = build_scenario_state(config)
+    executor, cache = _execution_backend(args)
+    specs = [
+        RunSpec(scenario=config, scheme=scheme, seed=args.seed, max_rounds=args.max_rounds)
+        for scheme in args.schemes
+    ]
+    records = execute_many(specs, executor=executor, cache=cache)
+    initial = records[0].metrics
     print(
         f"scenario: {config.columns}x{config.rows} grid, r = {config.cell_size:.4f} m, "
-        f"{base_state.enabled_count} enabled nodes, {base_state.hole_count} holes, "
-        f"{base_state.spare_count} spares (N = {args.spare_surplus})"
+        f"{initial.initial_enabled} enabled nodes, {initial.initial_holes} holes, "
+        f"{initial.initial_spares} spares (N = {args.spare_surplus})"
     )
     result = ExperimentResult(
         name="scheme comparison",
@@ -237,17 +291,10 @@ def _compare_command(args: argparse.Namespace) -> int:
             "holes_left",
         ],
     )
-    for scheme in args.schemes:
-        state = base_state.clone()
-        controller = make_controller(scheme, state)
-        metrics = run_recovery(
-            state,
-            controller,
-            derive_rng(args.seed, f"{scheme}-controller"),
-            max_rounds=args.max_rounds,
-        ).metrics
+    for record in records:
+        metrics = record.metrics
         result.add_row(
-            scheme=scheme,
+            scheme=record.spec.scheme,
             rounds=metrics.rounds,
             processes=metrics.processes_initiated,
             success_rate=metrics.success_rate,

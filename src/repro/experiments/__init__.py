@@ -8,13 +8,36 @@ the Section-5 workload and report the same series the paper plots.
 
 from repro.experiments.results import ExperimentResult, average_dicts
 from repro.experiments.plotting import ascii_chart, format_table
+from repro.experiments.registry import (
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    unregister_scheme,
+)
+from repro.experiments.orchestration import (
+    ParallelExecutor,
+    RunExecutor,
+    RunRecord,
+    RunSpec,
+    SerialExecutor,
+    execute_many,
+    execute_run,
+    make_executor,
+)
+from repro.experiments.persistence import RunCache, run_key
 from repro.experiments.report import (
     ShapeCheck,
     find_crossover,
     render_markdown_report,
     section5_shape_checks,
 )
-from repro.experiments.sweep import SCHEME_FACTORIES, make_controller, run_comparison
+from repro.experiments.sweep import (
+    SCHEME_FACTORIES,
+    build_comparison_specs,
+    make_controller,
+    run_comparison,
+    run_single,
+)
 from repro.experiments.figures import (
     PAPER_SPARE_VALUES,
     QUICK_SPARE_VALUES,
@@ -37,9 +60,25 @@ __all__ = [
     "find_crossover",
     "section5_shape_checks",
     "render_markdown_report",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "unregister_scheme",
+    "RunSpec",
+    "RunRecord",
+    "RunExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_run",
+    "execute_many",
+    "make_executor",
+    "RunCache",
+    "run_key",
     "SCHEME_FACTORIES",
+    "build_comparison_specs",
     "make_controller",
     "run_comparison",
+    "run_single",
     "PAPER_SPARE_VALUES",
     "QUICK_SPARE_VALUES",
     "figure1_hamilton_layout",

@@ -27,6 +27,8 @@ from repro.core.hamilton import (
     SerpentineHamiltonCycle,
     build_hamilton_cycle,
 )
+from repro.experiments.orchestration import RunExecutor
+from repro.experiments.persistence import RunCache
 from repro.experiments.results import ExperimentResult
 from repro.experiments.sweep import run_comparison
 from repro.grid.virtual_grid import VirtualGrid
@@ -149,6 +151,8 @@ def run_section5_experiment(
     trials: int = 1,
     max_rounds: Optional[int] = None,
     schemes: Sequence[str] = ("SR", "AR"),
+    executor: Optional[RunExecutor] = None,
+    cache: Optional[RunCache] = None,
 ) -> ExperimentResult:
     """The shared SR-versus-AR sweep behind Figures 6, 7 and 8.
 
@@ -157,11 +161,21 @@ def run_section5_experiment(
     :func:`repro.experiments.sweep.run_comparison`: the expected number of
     movements per hole is Theorem 2's ``M(N, L)`` and the per-hop distance is
     ``1.08 * r``, both multiplied by the number of holes in the scenario.
+
+    ``executor`` and ``cache`` are forwarded to the sweep runner, so the
+    three figure scripts sharing this sweep can run it in parallel and reuse
+    each other's persisted run records.
     """
     spare_values = list(spare_values) if spare_values is not None else list(PAPER_SPARE_VALUES)
     config = config if config is not None else SECTION5_CONFIG
     comparison = run_comparison(
-        config, spare_values, schemes=schemes, trials=trials, max_rounds=max_rounds
+        config,
+        spare_values,
+        schemes=schemes,
+        trials=trials,
+        max_rounds=max_rounds,
+        executor=executor,
+        cache=cache,
     )
     grid = config.make_grid()
     path_length = build_hamilton_cycle(grid).replacement_path_length

@@ -1,0 +1,276 @@
+"""Run orchestration: declarative run specs, pure execution, pluggable executors.
+
+The paper's whole evaluation (Figures 6-8) is one embarrassingly parallel
+sweep: every scheme runs on identical scenario builds across a range of spare
+counts ``N`` and seeds.  This module decouples *describing* such a cell from
+*executing* it:
+
+* :class:`RunSpec` — a frozen, picklable description of one simulation run
+  (scenario config + scheme name + controller seed + engine knobs).  Equal
+  specs describe byte-identical runs, which is what makes result caching and
+  cross-process execution sound.
+* :func:`execute_run` — the pure entry point ``RunSpec -> RunRecord``.  It is
+  a top-level function so :class:`ParallelExecutor` can ship it to worker
+  processes.
+* :class:`SerialExecutor` / :class:`ParallelExecutor` — interchangeable
+  strategies for executing a batch of specs.  Both return records in spec
+  order, so identical seeds give identical results regardless of worker
+  count.
+* :func:`execute_many` — the one entry point the sweep layer uses: consult an
+  optional cache, execute only the missing specs, persist fresh records.
+
+Determinism contract: everything stochastic inside a run is derived from
+``spec.scenario.seed`` (deployment + thinning) and ``spec.seed`` (controller
+stream) via :func:`repro.sim.rng.derive_rng`, so ``execute_run`` is a pure
+function of its spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.experiments.registry import (
+    BUILTIN_FACTORIES,
+    SCHEME_REGISTRY,
+    SchemeFactory,
+    make_controller,
+)
+from repro.network.state import WsnState
+from repro.sim.engine import DEFAULT_IDLE_ROUND_LIMIT, RoundBasedEngine
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import derive_rng
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.persistence import RunCache
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one simulation run.
+
+    Attributes
+    ----------
+    scenario:
+        The deployment to build (including its deployment/thinning seed).
+    scheme:
+        Name of the recovery scheme, resolved through the scheme registry.
+    seed:
+        Seed of the controller random stream (movement targets,
+        tie-breaking).  The sweep runner uses the trial seed here so the
+        controller stream changes together with the scenario across trials.
+    max_rounds:
+        Optional hard bound on simulation rounds (``None``: engine default).
+    idle_round_limit:
+        Consecutive no-progress rounds before the engine declares a stall.
+    """
+
+    scenario: ScenarioConfig
+    scheme: str
+    seed: int
+    max_rounds: Optional[int] = None
+    idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT
+
+    def controller_rng_label(self) -> str:
+        """Label of the controller random stream (kept stable for reproducibility)."""
+        return f"{self.scheme}-controller"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The outcome of executing one :class:`RunSpec`."""
+
+    spec: RunSpec
+    metrics: RunMetrics
+    rounds_executed: int
+    stalled: bool
+    cached: bool = False
+
+    @property
+    def converged(self) -> bool:
+        return self.metrics.coverage_restored
+
+
+def execute_run(spec: RunSpec, _state: Optional[WsnState] = None) -> RunRecord:
+    """Build the scenario, run the scheme, and return the resulting record.
+
+    This is the single choke point every sweep cell goes through — serial,
+    parallel, and cached execution all bottom out here.  It must stay a pure,
+    top-level function: :class:`ParallelExecutor` pickles ``(execute_run,
+    spec)`` pairs to worker processes.
+
+    ``_state`` is an internal optimisation hook for serial execution: a
+    caller that already built ``spec.scenario`` may pass a private clone of
+    the resulting state to skip the (deterministic, hence equivalent)
+    rebuild.  The clone is mutated in place.
+    """
+    state = build_scenario_state(spec.scenario) if _state is None else _state
+    controller = make_controller(spec.scheme, state)
+    rng = derive_rng(spec.seed, spec.controller_rng_label())
+    engine = RoundBasedEngine(
+        state,
+        controller,
+        rng,
+        max_rounds=spec.max_rounds,
+        idle_round_limit=spec.idle_round_limit,
+    )
+    result = engine.run()
+    return RunRecord(
+        spec=spec,
+        metrics=result.metrics,
+        rounds_executed=result.rounds_executed,
+        stalled=result.stalled,
+    )
+
+
+# ------------------------------------------------------------------ executors
+def _run_serially(specs: Sequence[RunSpec]) -> List[RunRecord]:
+    """Execute specs in order, building each distinct scenario only once.
+
+    Consecutive specs that share a scenario config (the sweep emits one run
+    per scheme with schemes innermost) get private clones of one base state
+    instead of rebuilding the deployment from scratch — the build is
+    deterministic, so a clone and a rebuild are interchangeable.
+    """
+    records: List[RunRecord] = []
+    base_scenario = None
+    base_state: Optional[WsnState] = None
+    for spec in specs:
+        if base_state is None or spec.scenario != base_scenario:
+            base_scenario = spec.scenario
+            base_state = build_scenario_state(base_scenario)
+        records.append(execute_run(spec, _state=base_state.clone()))
+    return records
+
+
+def _registry_overrides() -> Dict[str, SchemeFactory]:
+    """Registrations added or replaced since import that can be pickled.
+
+    Worker processes re-import the registry and therefore only know the
+    built-in schemes; anything registered afterwards (and any built-in
+    shadowed with ``replace=True``) must be shipped along.  Factories that
+    cannot be pickled (lambdas, closures) are skipped — resolving them in a
+    worker raises the registry's usual unknown-scheme error.
+    """
+    overrides: Dict[str, SchemeFactory] = {}
+    for name, factory in SCHEME_REGISTRY.items():
+        if BUILTIN_FACTORIES.get(name) is factory:
+            continue
+        try:
+            pickle.dumps(factory)
+        except Exception:
+            continue
+        overrides[name] = factory
+    return overrides
+
+
+def _install_registry_overrides(overrides: Dict[str, SchemeFactory]) -> None:
+    """Worker-process initializer: replay post-import registrations."""
+    SCHEME_REGISTRY.update(overrides)
+
+
+class RunExecutor(ABC):
+    """Strategy interface for executing a batch of run specs.
+
+    Implementations must return one record per spec **in spec order** and
+    keep :attr:`runs_executed` up to date (the cache tests rely on it to
+    assert that a warm cache causes zero re-executions).
+    """
+
+    def __init__(self) -> None:
+        #: Total number of specs this executor has actually simulated.
+        self.runs_executed = 0
+
+    @abstractmethod
+    def run_all(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute every spec and return their records in spec order."""
+
+
+class SerialExecutor(RunExecutor):
+    """Execute specs one after another in the current process."""
+
+    def run_all(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        records = _run_serially(specs)
+        self.runs_executed += len(records)
+        return records
+
+
+class ParallelExecutor(RunExecutor):
+    """Execute specs across worker processes with deterministic ordering.
+
+    ``ProcessPoolExecutor.map`` preserves input order, so the records come
+    back exactly as :class:`SerialExecutor` would produce them; only
+    wall-clock time changes with ``jobs``.  Specs and records cross the
+    process boundary, controllers and network states never do.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        super().__init__()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run_all(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            records = _run_serially(specs)
+        else:
+            workers = min(self.jobs, len(specs))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_install_registry_overrides,
+                initargs=(_registry_overrides(),),
+            ) as pool:
+                records = list(pool.map(execute_run, specs))
+        self.runs_executed += len(records)
+        return records
+
+
+def make_executor(jobs: Optional[int] = None) -> RunExecutor:
+    """Executor for ``jobs`` worker processes (``None`` or 1: serial)."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+# ---------------------------------------------------------------- entry point
+def execute_many(
+    specs: Sequence[RunSpec],
+    executor: Optional[RunExecutor] = None,
+    cache: "Optional[RunCache]" = None,
+) -> List[RunRecord]:
+    """Execute a batch of specs, reusing cached records where available.
+
+    Records are returned in spec order.  With a cache, only the specs
+    without a stored record are simulated (through ``executor``), and the
+    fresh records are persisted before returning; cached records come back
+    with ``record.cached`` set so callers can report hit rates.
+    """
+    specs = list(specs)
+    executor = executor if executor is not None else SerialExecutor()
+    if cache is None:
+        return executor.run_all(specs)
+
+    records: List[Optional[RunRecord]] = []
+    missing_indices: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec)
+        if hit is not None:
+            records.append(dataclasses.replace(hit, cached=True))
+        else:
+            records.append(None)
+            missing_indices.append(index)
+
+    if missing_indices:
+        fresh = executor.run_all([specs[i] for i in missing_indices])
+        for index, record in zip(missing_indices, fresh):
+            cache.put(record)
+            records[index] = record
+    return [record for record in records if record is not None]

@@ -1,0 +1,182 @@
+"""JSON result persistence with content-addressed caching keyed on the RunSpec.
+
+The figure scripts (6, 7, 8) and the extension benchmarks all consume the same
+sweep; before this module existed each of them re-simulated every cell.  A
+:class:`RunCache` stores one JSON document per executed
+:class:`~repro.experiments.orchestration.RunSpec`, addressed by a SHA-256 over
+the spec's canonical JSON form, so any script that asks for an already
+executed spec gets the stored :class:`~repro.experiments.orchestration.RunRecord`
+back instead of a re-simulation.
+
+Cache-soundness rests on two properties:
+
+* ``execute_run`` is a pure function of its spec (see the determinism
+  contract in :mod:`repro.experiments.orchestration`), so a stored record is
+  exactly what a re-run would produce;
+* the key covers *every* field of the spec (scenario knobs included), so any
+  change to the scenario, scheme, seed, or engine bounds produces a new key.
+
+``CACHE_FORMAT_VERSION`` is folded into the key; bump it whenever the record
+schema or the simulation semantics change, and every old entry silently
+becomes a miss instead of serving stale physics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments.orchestration import RunRecord, RunSpec
+from repro.experiments.registry import factory_identity
+from repro.sim.metrics import RunMetrics
+from repro.sim.scenario import ScenarioConfig
+
+#: Bump on any change to the stored schema or to simulation semantics.
+CACHE_FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------- serialization
+def spec_to_dict(spec: RunSpec) -> Dict[str, object]:
+    """Canonical JSON-compatible form of a spec (stable across processes)."""
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        "scenario": dataclasses.asdict(spec.scenario),
+        "scheme": spec.scheme,
+        "seed": spec.seed,
+        "max_rounds": spec.max_rounds,
+        "idle_round_limit": spec.idle_round_limit,
+    }
+
+
+def spec_from_dict(payload: Dict[str, object]) -> RunSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    return RunSpec(
+        scenario=ScenarioConfig(**payload["scenario"]),
+        scheme=payload["scheme"],
+        seed=payload["seed"],
+        max_rounds=payload["max_rounds"],
+        idle_round_limit=payload["idle_round_limit"],
+    )
+
+
+def record_to_dict(record: RunRecord) -> Dict[str, object]:
+    """JSON-compatible form of a record (``cached`` is execution metadata, not stored)."""
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        "spec": spec_to_dict(record.spec),
+        "metrics": dataclasses.asdict(record.metrics),
+        "rounds_executed": record.rounds_executed,
+        "stalled": record.stalled,
+    }
+
+
+def record_from_dict(payload: Dict[str, object]) -> RunRecord:
+    """Inverse of :func:`record_to_dict`."""
+    return RunRecord(
+        spec=spec_from_dict(payload["spec"]),
+        metrics=RunMetrics(**payload["metrics"]),
+        rounds_executed=payload["rounds_executed"],
+        stalled=payload["stalled"],
+    )
+
+
+def run_key(spec: RunSpec) -> str:
+    """Content hash of a spec — the cache address of its record.
+
+    Besides the spec fields, the key covers the *identity* of the factory
+    currently registered under the spec's scheme name: shadowing a scheme
+    with ``register_scheme(..., replace=True)`` must not serve records that
+    were simulated by the previous implementation.
+    """
+    payload = spec_to_dict(spec)
+    try:
+        payload["scheme_impl"] = factory_identity(spec.scheme)
+    except KeyError:
+        # Unregistered scheme: the key is still well-defined; execution will
+        # fail later with the registry's own error.
+        pass
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- cache
+class RunCache:
+    """Directory of ``<run_key>.json`` records, one per executed spec.
+
+    Lookups that fail for any reason (missing file, corrupt JSON, schema
+    drift, or a stored spec that does not round-trip to the requested one)
+    are treated as misses, so a damaged cache degrades to re-simulation
+    rather than wrong results.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{run_key(spec)}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        """The stored record for ``spec``, or ``None`` on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+            if payload.get("format_version") != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format version mismatch")
+            record = record_from_dict(payload)
+            if record.spec != spec:
+                raise ValueError("stored spec does not match requested spec")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, record: RunRecord) -> Path:
+        """Persist ``record`` (atomically) and return its path.
+
+        The temp file gets a writer-unique name so concurrent processes
+        racing to store the same spec each publish a complete document (last
+        full write wins — both wrote the same deterministic record anyway).
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record.spec)
+        payload = json.dumps(record_to_dict(record), sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

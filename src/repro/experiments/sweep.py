@@ -2,53 +2,55 @@
 
 The experimental figures (6, 7, 8) all come from the same sweep: for every
 value of ``N`` (the spare surplus), build the scenario, run each scheme on an
-identical copy of the initial network, and record its
+identical scenario build, and record its
 :class:`~repro.sim.metrics.RunMetrics`.  :func:`run_comparison` implements
 that sweep once so the three figures (and the extension benchmarks) can share
 the data.
+
+The sweep is expressed as a batch of
+:class:`~repro.experiments.orchestration.RunSpec` cells executed through a
+pluggable :class:`~repro.experiments.orchestration.RunExecutor` — pass
+``executor=ParallelExecutor(jobs)`` to spread the cells over worker processes
+(results are identical to serial execution for the same seeds), and
+``cache=RunCache(dir)`` to skip cells whose records were already persisted by
+an earlier sweep.
+
+Scheme names are resolved through :mod:`repro.experiments.registry`;
+``SCHEME_FACTORIES`` remains as a backwards-compatible alias of the registry
+dict.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.smart_scan import SmartScanController
-from repro.baselines.virtual_force import VirtualForceController
-from repro.core.baseline_ar import LocalizedReplacementController
-from repro.core.hamilton import build_hamilton_cycle
-from repro.core.protocol import MobilityController
-from repro.core.replacement import HamiltonReplacementController
-from repro.core.shortcut import ShortcutReplacementController
+from repro.experiments.orchestration import (
+    RunExecutor,
+    RunRecord,
+    RunSpec,
+    execute_many,
+)
+from repro.experiments.persistence import RunCache
+from repro.experiments.registry import (
+    SCHEME_REGISTRY as SCHEME_FACTORIES,
+    available_schemes,
+    make_controller,
+)
 from repro.experiments.results import ExperimentResult, average_dicts
 from repro.network.state import WsnState
 from repro.sim.engine import run_recovery
 from repro.sim.metrics import RunMetrics
-from repro.sim.rng import derive_rng, spawn_seeds
-from repro.sim.scenario import ScenarioConfig, build_scenario_state
+from repro.sim.rng import spawn_seeds
+from repro.sim.scenario import ScenarioConfig
 
-#: Factories for the schemes known to the sweep runner.  Each factory takes
-#: the network state and returns a fresh controller bound to its grid.
-SCHEME_FACTORIES: Dict[str, Callable[[WsnState], MobilityController]] = {
-    "SR": lambda state: HamiltonReplacementController(build_hamilton_cycle(state.grid)),
-    "SR-shortcut": lambda state: ShortcutReplacementController(
-        build_hamilton_cycle(state.grid)
-    ),
-    "AR": lambda state: LocalizedReplacementController(state.grid),
-    "VF": lambda state: VirtualForceController(),
-    "SMART": lambda state: SmartScanController(),
-}
-
-
-def make_controller(scheme: str, state: WsnState) -> MobilityController:
-    """Instantiate a controller by scheme name for the given network."""
-    try:
-        factory = SCHEME_FACTORIES[scheme]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheme {scheme!r}; available: {sorted(SCHEME_FACTORIES)}"
-        ) from None
-    return factory(state)
+__all__ = [
+    "SCHEME_FACTORIES",
+    "make_controller",
+    "run_single",
+    "build_comparison_specs",
+    "run_comparison",
+]
 
 
 def run_single(
@@ -57,11 +59,53 @@ def run_single(
     rng: random.Random,
     max_rounds: Optional[int] = None,
 ) -> RunMetrics:
-    """Run one scheme on (a clone of) ``state`` and return its metrics."""
+    """Run one scheme on (a clone of) an already-built ``state``.
+
+    This is the in-place entry point for callers that hold a concrete
+    network; sweeps go through :func:`repro.experiments.orchestration.execute_run`
+    instead, which builds the network from a spec.
+    """
     working_state = state.clone()
     controller = make_controller(scheme, working_state)
     result = run_recovery(working_state, controller, rng, max_rounds=max_rounds)
     return result.metrics
+
+
+def build_comparison_specs(
+    config: ScenarioConfig,
+    spare_values: Sequence[int],
+    schemes: Sequence[str] = ("SR", "AR"),
+    trials: int = 1,
+    max_rounds: Optional[int] = None,
+) -> List[RunSpec]:
+    """The sweep's run specs in deterministic (N, trial, scheme) order.
+
+    For each ``N`` and each trial every scheme gets a spec with the *same*
+    scenario config (same deployment and thinning seed), so all schemes
+    repair exactly the same holes with exactly the same spare placement —
+    the comparison the paper performs.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    unknown = [scheme for scheme in schemes if scheme not in SCHEME_FACTORIES]
+    if unknown:
+        raise KeyError(
+            f"unknown schemes {unknown}; available: {list(available_schemes())}"
+        )
+    specs: List[RunSpec] = []
+    for spare_surplus in spare_values:
+        for trial_seed in spawn_seeds(config.seed, trials, label=f"N={spare_surplus}"):
+            scenario = config.with_spare_surplus(spare_surplus).with_seed(trial_seed)
+            for scheme in schemes:
+                specs.append(
+                    RunSpec(
+                        scenario=scenario,
+                        scheme=scheme,
+                        seed=trial_seed,
+                        max_rounds=max_rounds,
+                    )
+                )
+    return specs
 
 
 def run_comparison(
@@ -70,25 +114,25 @@ def run_comparison(
     schemes: Sequence[str] = ("SR", "AR"),
     trials: int = 1,
     max_rounds: Optional[int] = None,
+    executor: Optional[RunExecutor] = None,
+    cache: Optional[RunCache] = None,
 ) -> ExperimentResult:
     """Sweep ``N`` over ``spare_values`` and run every scheme on identical scenarios.
 
-    For each ``N`` and each trial, one scenario is built (deployment +
-    thinning) and **cloned** for every scheme, so all schemes repair exactly
-    the same holes with exactly the same spare placement — the comparison the
-    paper performs.  Metrics are averaged over trials.
-
-    The resulting table has one row per ``N`` with the columns::
+    Metrics are averaged over trials.  The resulting table has one row per
+    ``N`` with the columns::
 
         N, holes, spares, enabled,
         <scheme>_processes, <scheme>_success_rate, <scheme>_moves,
         <scheme>_distance, <scheme>_failed, <scheme>_final_holes   (per scheme)
+
+    ``executor`` selects the execution strategy (default: serial in-process);
+    ``cache`` reuses persisted records for previously executed specs.
     """
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    unknown = [scheme for scheme in schemes if scheme not in SCHEME_FACTORIES]
-    if unknown:
-        raise KeyError(f"unknown schemes {unknown}; available: {sorted(SCHEME_FACTORIES)}")
+    specs = build_comparison_specs(
+        config, spare_values, schemes=schemes, trials=trials, max_rounds=max_rounds
+    )
+    records = execute_many(specs, executor=executor, cache=cache)
 
     columns: List[str] = ["N", "holes", "spares", "enabled"]
     for scheme in schemes:
@@ -108,24 +152,23 @@ def run_comparison(
         description=f"schemes={list(schemes)}, trials={trials}, deployed={config.deployed_count}",
     )
 
+    # Records come back in spec order: trials nested inside each N, schemes
+    # nested inside each trial.  Reassemble the per-(N, trial) rows and
+    # average the trials, exactly as the sequential sweep used to.
+    record_iter = iter(records)
     for spare_surplus in spare_values:
         trial_rows: List[Dict[str, float]] = []
-        for trial_seed in spawn_seeds(config.seed, trials, label=f"N={spare_surplus}"):
-            scenario = config.with_spare_surplus(spare_surplus).with_seed(trial_seed)
-            state = build_scenario_state(scenario)
-            row: Dict[str, float] = {
-                "N": spare_surplus,
-                "holes": state.hole_count,
-                "spares": state.spare_count,
-                "enabled": state.enabled_count,
-            }
+        for _ in range(trials):
+            row: Dict[str, float] = {"N": spare_surplus}
             for scheme in schemes:
-                metrics = run_single(
-                    state,
-                    scheme,
-                    derive_rng(trial_seed, f"{scheme}-controller"),
-                    max_rounds=max_rounds,
-                )
+                record: RunRecord = next(record_iter)
+                metrics = record.metrics
+                # Scenario-level statistics are identical for every scheme in
+                # the trial (same scenario build), so take them from the
+                # first record's pre-run snapshot.
+                row.setdefault("holes", metrics.initial_holes)
+                row.setdefault("spares", metrics.initial_spares)
+                row.setdefault("enabled", metrics.initial_enabled)
                 row[f"{scheme}_processes"] = metrics.processes_initiated
                 row[f"{scheme}_success_rate"] = metrics.success_rate
                 row[f"{scheme}_moves"] = metrics.total_moves

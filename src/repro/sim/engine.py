@@ -92,6 +92,10 @@ class RoundBasedEngine:
         if self.max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
         self.failure_schedule = dict(failure_schedule or {})
+        # The schedule is fixed for the lifetime of the engine, so the last
+        # scheduled round can be computed once instead of scanning the whole
+        # schedule in every round's pending-failures check.
+        self._last_scheduled_round = max(self.failure_schedule, default=-1)
         self.event_log = event_log
         self.idle_round_limit = idle_round_limit
 
@@ -174,7 +178,7 @@ class RoundBasedEngine:
             )
 
     def _failures_pending(self, round_index: int) -> bool:
-        return any(scheduled > round_index for scheduled in self.failure_schedule)
+        return self._last_scheduled_round > round_index
 
     def _finished(self, round_index: int) -> bool:
         if self.state.hole_count > 0:
