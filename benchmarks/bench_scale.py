@@ -1,0 +1,297 @@
+"""Grid-size scaling benchmark for the incremental state indices.
+
+The state/engine/controller stack is supposed to make per-round recovery
+cost a function of the number of holes, not of the grid size (see DESIGN.md,
+"The state-index contract").  This benchmark checks that claim empirically:
+it times SR recovery rounds on 16x16, 64x64, and 128x128 grids (3 nodes per
+cell, so the largest scenario deploys ~49k nodes) with the *same* number of
+holes punched into each, and it micro-benchmarks the hot state queries
+(``hole_count``, ``spare_count``, ``vacant_cells``) the engine and the
+controllers issue every round.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full run, writes BENCH_scale.json
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # CI smoke: smallest grid + regression guard
+
+The full run writes ``BENCH_scale.json`` at the repository root, seeding the
+repo's perf trajectory.  The smoke run executes only the smallest grid's
+round benchmark plus a query-scaling guard (16x16 vs 64x64 at equal hole
+count) and exits non-zero when the ratio blows up — an accidental O(m*n)
+scan in the per-round queries fails CI long before it would be felt on the
+128x128 workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.registry import make_controller
+from repro.network.deployment import deploy_per_cell
+from repro.network.radio import UnitDiskRadio
+from repro.network.state import WsnState
+from repro.sim.engine import RoundBasedEngine
+from repro.sim.rng import derive_rng
+from repro.grid.virtual_grid import VirtualGrid, cell_side_for_range
+
+#: (columns, rows) of the benchmarked grids; 3 nodes per cell everywhere, so
+#: the largest grid deploys 128 * 128 * 3 = 49152 sensors.
+GRID_SHAPES = ((16, 16), (64, 64), (128, 128))
+NODES_PER_CELL = 3
+COMMUNICATION_RANGE = 10.0
+#: Holes punched into every grid — equal across sizes so per-round cost is
+#: compared at equal workload.
+DEFAULT_HOLES = 32
+#: Fresh holes drip-fed per round by the steady-state round benchmark.
+HOLES_PER_ROUND = 8
+#: Smoke-mode guard: the per-query cost ratio between a 64x64 and a 16x16
+#: grid at equal hole count.  The indexed queries are O(1)/O(holes), so the
+#: true ratio is ~1; an O(m*n) regression measures ~16x and trips this.
+SMOKE_QUERY_RATIO_LIMIT = 5.0
+#: Smoke-mode guard: generous absolute per-round budget on the 16x16 grid.
+SMOKE_ROUND_SECONDS_LIMIT = 0.05
+
+
+def build_base_state(columns: int, rows: int, seed: int) -> WsnState:
+    grid = VirtualGrid(columns, rows, cell_side_for_range(COMMUNICATION_RANGE))
+    nodes = deploy_per_cell(grid, NODES_PER_CELL, derive_rng(seed, "deployment"))
+    return WsnState(grid, nodes)
+
+
+def punch_holes(state: WsnState, hole_count: int, rng: random.Random) -> None:
+    """Disable every node of ``hole_count`` randomly chosen cells."""
+    cells = rng.sample(list(state.grid.all_coords()), hole_count)
+    for coord in cells:
+        for node in list(state.members_of(coord)):
+            state.disable_node(node.node_id)
+
+
+class ScheduledCellKill:
+    """Failure model that disables a precomputed list of node ids.
+
+    The victim cells are sampled *before* the engine is timed, so the drip
+    feed itself adds no grid-size-dependent work to the measured rounds.
+    """
+
+    def __init__(self, node_ids):
+        self.node_ids = list(node_ids)
+
+    def apply(self, state, rng):
+        victims = [
+            node_id for node_id in self.node_ids if state.node(node_id).is_enabled
+        ]
+        for node_id in victims:
+            state.disable_node(node_id)
+        return victims
+
+
+def build_failure_schedule(
+    base: WsnState, rounds: int, holes_per_round: int, rng: random.Random
+) -> dict:
+    """One :class:`ScheduledCellKill` per round over disjoint random cells."""
+    cells = rng.sample(list(base.grid.all_coords()), rounds * holes_per_round)
+    schedule = {}
+    for round_index in range(rounds):
+        batch = cells[round_index * holes_per_round : (round_index + 1) * holes_per_round]
+        node_ids = [
+            node.node_id for coord in batch for node in base.members_of(coord)
+        ]
+        schedule[round_index] = ScheduledCellKill(node_ids)
+    return schedule
+
+
+def bench_recovery_rounds(
+    base: WsnState, hole_count: int, seed: int, repeats: int
+) -> dict:
+    """Steady-state per-round cost of SR recovery under a constant hole feed.
+
+    Every round ``HOLES_PER_ROUND`` fresh holes are punched (scheduled
+    failures), so every grid size executes the same number of rounds with the
+    same per-round workload — the per-round figure is therefore directly
+    comparable across grid sizes at equal hole count.
+    """
+    rounds_scheduled = max(1, hole_count // HOLES_PER_ROUND)
+    total_seconds = 0.0
+    total_rounds = 0
+    per_round_samples = []
+    for repeat in range(repeats):
+        state = base.clone()
+        schedule = build_failure_schedule(
+            base, rounds_scheduled, HOLES_PER_ROUND, derive_rng(seed + repeat, "holes")
+        )
+        controller = make_controller("SR", state)
+        engine = RoundBasedEngine(
+            state,
+            controller,
+            derive_rng(seed + repeat, "controller"),
+            failure_schedule=schedule,
+        )
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        if result.metrics.final_holes:
+            raise RuntimeError(
+                f"benchmark run left {result.metrics.final_holes} holes unrepaired; "
+                "the scenario is supposed to always recover"
+            )
+        total_seconds += elapsed
+        total_rounds += result.rounds_executed
+        per_round_samples.append(elapsed / result.rounds_executed)
+    return {
+        "repeats": repeats,
+        "holes_per_round": HOLES_PER_ROUND,
+        "rounds_total": total_rounds,
+        "seconds_total": round(total_seconds, 6),
+        "per_round_seconds": round(total_seconds / total_rounds, 8),
+        "per_round_seconds_median": round(statistics.median(per_round_samples), 8),
+    }
+
+
+def bench_queries(state: WsnState, iterations: int = 2000) -> float:
+    """Average seconds per (hole_count + spare_count + vacant_cells) round trip."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        state.hole_count
+        state.spare_count
+        state.vacant_cells()
+    return (time.perf_counter() - start) / iterations
+
+
+def bench_adjacency(state: WsnState) -> dict:
+    """Time the cell-bucketed neighbour search over all enabled nodes."""
+    radio = UnitDiskRadio(COMMUNICATION_RANGE)
+    nodes = state.enabled_nodes()
+    start = time.perf_counter()
+    adjacency = radio.adjacency(nodes)
+    elapsed = time.perf_counter() - start
+    edges = sum(len(neighbours) for neighbours in adjacency.values()) // 2
+    return {"seconds": round(elapsed, 6), "nodes": len(nodes), "edges": edges}
+
+
+def run_grid(columns: int, rows: int, holes: int, seed: int, repeats: int) -> dict:
+    base = build_base_state(columns, rows, seed)
+    rounds = bench_recovery_rounds(base, holes, seed, repeats)
+    holed = base.clone()
+    punch_holes(holed, holes, derive_rng(seed, "holes"))
+    query_seconds = bench_queries(holed)
+    entry = {
+        "columns": columns,
+        "rows": rows,
+        "cells": columns * rows,
+        "deployed_nodes": base.node_count,
+        "holes": holes,
+        "rounds": rounds,
+        "query_seconds": round(query_seconds, 9),
+        "adjacency": bench_adjacency(base),
+    }
+    print(
+        f"{columns:>4}x{rows:<4} {base.node_count:>6} nodes  "
+        f"per-round {rounds['per_round_seconds'] * 1e3:8.3f} ms  "
+        f"queries {query_seconds * 1e6:8.2f} us  "
+        f"adjacency {entry['adjacency']['seconds']:6.2f} s"
+    )
+    return entry
+
+
+def smoke(holes: int, seed: int, repeats: int) -> int:
+    """Smallest-grid benchmark + query-scaling regression guard for CI."""
+    small = run_grid(16, 16, holes, seed, repeats)
+    per_round = small["rounds"]["per_round_seconds"]
+    failures = []
+    if per_round > SMOKE_ROUND_SECONDS_LIMIT:
+        failures.append(
+            f"per-round cost on 16x16 is {per_round:.4f}s "
+            f"(budget {SMOKE_ROUND_SECONDS_LIMIT}s)"
+        )
+
+    medium_state = build_base_state(64, 64, seed)
+    punch_holes(medium_state, holes, derive_rng(seed, "holes"))
+    small_state = build_base_state(16, 16, seed)
+    punch_holes(small_state, holes, derive_rng(seed, "holes"))
+    small_query = bench_queries(small_state)
+    medium_query = bench_queries(medium_state)
+    ratio = medium_query / small_query if small_query > 0 else float("inf")
+    print(
+        f"query scaling guard: 16x16 {small_query * 1e6:.2f} us vs "
+        f"64x64 {medium_query * 1e6:.2f} us -> ratio {ratio:.2f} "
+        f"(limit {SMOKE_QUERY_RATIO_LIMIT})"
+    )
+    if ratio > SMOKE_QUERY_RATIO_LIMIT:
+        failures.append(
+            f"per-round query cost grows {ratio:.2f}x from 16x16 to 64x64 at equal "
+            f"hole count (limit {SMOKE_QUERY_RATIO_LIMIT}x) — an index regression "
+            "re-introduced a grid-size-dependent scan"
+        )
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def full(holes: int, seed: int, repeats: int, output: Path) -> int:
+    grids = [
+        run_grid(columns, rows, holes, seed, repeats) for columns, rows in GRID_SHAPES
+    ]
+    smallest, largest = grids[0], grids[-1]
+    ratio = (
+        largest["rounds"]["per_round_seconds"]
+        / smallest["rounds"]["per_round_seconds"]
+    )
+    report = {
+        "benchmark": "bench_scale",
+        "description": (
+            "SR recovery per-round cost and state-query cost at equal hole "
+            "count across grid sizes; per_round_ratio_largest_vs_smallest ~2x "
+            "or less means round cost is grid-size independent"
+        ),
+        "scheme": "SR",
+        "nodes_per_cell": NODES_PER_CELL,
+        "communication_range": COMMUNICATION_RANGE,
+        "holes": holes,
+        "seed": seed,
+        "grids": grids,
+        "per_round_ratio_largest_vs_smallest": round(ratio, 3),
+        "query_ratio_largest_vs_smallest": round(
+            largest["query_seconds"] / smallest["query_seconds"], 3
+        ),
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nper-round cost 128x128 vs 16x16: {ratio:.2f}x")
+    print(f"[written to {output}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest grid only, plus the query-scaling regression guard",
+    )
+    parser.add_argument("--holes", type=int, default=DEFAULT_HOLES)
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument(
+        "--repeats", type=int, default=10, help="independent recovery runs per grid"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_scale.json",
+        help="where the full run writes its JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.holes, args.seed, args.repeats)
+    return full(args.holes, args.seed, args.repeats, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

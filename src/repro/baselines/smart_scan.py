@@ -93,7 +93,11 @@ class SmartScanController(MobilityController):
 
     @staticmethod
     def _line_transfers(state: WsnState, line: List[GridCoord]) -> List[tuple]:
-        """Boundary flows for one row/column, limited to one node per boundary per round."""
+        """Boundary flows for one row/column, limited to one node per boundary per round.
+
+        Balancing is inherently a whole-line computation, but each per-cell
+        count is an O(1) read of the occupancy index.
+        """
         counts = [state.member_count(coord) for coord in line]
         total = sum(counts)
         k = len(line)
@@ -114,11 +118,12 @@ class SmartScanController(MobilityController):
     @staticmethod
     def _pick_mover(state: WsnState, source: GridCoord, target: GridCoord) -> Optional[int]:
         """Prefer moving a spare; move the head only when it is the last node."""
-        members = state.members_of(source)
-        if not members:
-            return None
-        spares = state.spares_of(source)
-        candidates = spares if spares else members
+        candidates = state.spares_of(source)
+        if not candidates:
+            head = state.head_of(source)
+            if head is None:
+                return None
+            candidates = [head]
         target_center = state.grid.cell_center(target)
         chosen = min(
             candidates,

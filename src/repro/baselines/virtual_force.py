@@ -92,13 +92,17 @@ class VirtualForceController(MobilityController):
             state.grid.cell_center(coord) for coord in state.vacant_cells()
         ]
         enabled = state.enabled_nodes()
+        # Bucket the enabled nodes by repulsion range once per round so each
+        # node only inspects its 3x3 bucket neighbourhood instead of every
+        # other node (O(N * density) instead of O(N^2)).
+        buckets = self._repulsion_buckets(enabled, repulsion_range)
         planned: List[tuple] = []
         for node in enabled:
             # Heads stay put: removing a head would create a new hole, which
             # no virtual-force formulation intends.
             if node.is_head:
                 continue
-            force = self._force_on(node, enabled, vacant_centers, repulsion_range, attraction_range)
+            force = self._force_on(node, buckets, vacant_centers, repulsion_range, attraction_range)
             magnitude = math.hypot(force[0], force[1])
             if magnitude < self.minimum_step:
                 continue
@@ -129,26 +133,57 @@ class VirtualForceController(MobilityController):
         return outcome
 
     # ------------------------------------------------------------------ forces
+    @staticmethod
+    def _repulsion_buckets(enabled, repulsion_range: float) -> Dict[tuple, list]:
+        """Spatial hash of the enabled nodes with bucket side ``repulsion_range``.
+
+        Any pair closer than the repulsion range lives in the same or an
+        adjacent bucket, so the force computation only needs the 3x3 bucket
+        neighbourhood of each node.  A non-positive range disables repulsion
+        entirely (no pair can be closer than 0), so no buckets are needed.
+        """
+        buckets: Dict[tuple, list] = {}
+        if repulsion_range <= 0:
+            return buckets
+        inverse = 1.0 / repulsion_range
+        for node in enabled:
+            key = (
+                math.floor(node.position.x * inverse),
+                math.floor(node.position.y * inverse),
+            )
+            buckets.setdefault(key, []).append(node)
+        return buckets
+
     def _force_on(
         self,
         node,
-        enabled,
+        buckets: Dict[tuple, list],
         vacant_centers,
         repulsion_range: float,
         attraction_range: float,
     ) -> tuple:
         fx = fy = 0.0
-        for other in enabled:
-            if other.node_id == node.node_id:
-                continue
-            dx = node.position.x - other.position.x
-            dy = node.position.y - other.position.y
-            distance = math.hypot(dx, dy)
-            if distance < 1e-9 or distance >= repulsion_range:
-                continue
-            strength = self.repulsion_gain * (repulsion_range - distance) / repulsion_range
-            fx += strength * dx / distance
-            fy += strength * dy / distance
+        if not buckets:
+            bucket_x = bucket_y = 0
+        else:
+            inverse = 1.0 / repulsion_range
+            bucket_x = math.floor(node.position.x * inverse)
+            bucket_y = math.floor(node.position.y * inverse)
+        for offset_x in (-1, 0, 1):
+            for offset_y in (-1, 0, 1):
+                for other in buckets.get((bucket_x + offset_x, bucket_y + offset_y), ()):
+                    if other.node_id == node.node_id:
+                        continue
+                    dx = node.position.x - other.position.x
+                    dy = node.position.y - other.position.y
+                    distance = math.hypot(dx, dy)
+                    if distance < 1e-9 or distance >= repulsion_range:
+                        continue
+                    strength = (
+                        self.repulsion_gain * (repulsion_range - distance) / repulsion_range
+                    )
+                    fx += strength * dx / distance
+                    fy += strength * dy / distance
         for center in vacant_centers:
             dx = center.x - node.position.x
             dy = center.y - node.position.y

@@ -92,9 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="run several schemes on one identical scenario"
     )
-    compare.add_argument("--columns", type=int, default=16)
-    compare.add_argument("--rows", type=int, default=16)
-    compare.add_argument("--deployed", type=int, default=5000)
+    compare.add_argument(
+        "--columns", type=int, default=16, help="virtual-grid columns (n)"
+    )
+    compare.add_argument("--rows", type=int, default=16, help="virtual-grid rows (m)")
+    compare.add_argument(
+        "--nodes",
+        "--deployed",
+        dest="deployed",
+        type=int,
+        default=5000,
+        help="number of deployed sensors (--deployed is an accepted alias); "
+        "together with --columns/--rows this makes large-grid scenarios "
+        "reachable without code edits",
+    )
     compare.add_argument(
         "--spare-surplus", type=int, default=55, help="the paper's N (enabled - m*n)"
     )

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.protocol import MobilityController, ReplacementProcess, RoundOutcome
 from repro.grid.virtual_grid import GridCoord, VirtualGrid
@@ -95,7 +95,8 @@ class LocalizedReplacementController(MobilityController):
         self, state: WsnState, rng: random.Random, round_index: int
     ) -> RoundOutcome:
         outcome = RoundOutcome(round_index=round_index)
-        vacant_snapshot = set(state.vacant_cells())
+        # O(holes) snapshot from the live vacancy index; no grid scan.
+        vacant_snapshot = state.vacant_cell_set()
 
         self._announce_new_holes(state, vacant_snapshot, round_index, outcome)
 
@@ -118,7 +119,7 @@ class LocalizedReplacementController(MobilityController):
     def _announce_new_holes(
         self,
         state: WsnState,
-        vacant_snapshot: Set[GridCoord],
+        vacant_snapshot: FrozenSet[GridCoord],
         round_index: int,
         outcome: RoundOutcome,
     ) -> None:
@@ -156,7 +157,7 @@ class LocalizedReplacementController(MobilityController):
         rng: random.Random,
         round_index: int,
         process_id: int,
-        vacant_snapshot: Set[GridCoord],
+        vacant_snapshot: FrozenSet[GridCoord],
         acted_heads: Set[GridCoord],
         outcome: RoundOutcome,
     ) -> None:

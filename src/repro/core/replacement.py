@@ -90,9 +90,10 @@ class HamiltonReplacementController(MobilityController):
     ) -> RoundOutcome:
         outcome = RoundOutcome(round_index=round_index)
         # Snapshot the holes visible at the start of the round.  New vacancies
-        # created by this round's moves are only observable next round.
-        vacancies = state.vacant_cells()
-        ordered = sorted(vacancies, key=self.cycle.index_of)
+        # created by this round's moves are only observable next round.  The
+        # vacancy index makes this O(holes log holes) — round cost no longer
+        # depends on the grid size.
+        ordered = sorted(state.vacant_cell_set(), key=self.cycle.index_of)
         acted_heads: set = set()
 
         for vacant in ordered:

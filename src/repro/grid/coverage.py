@@ -37,7 +37,10 @@ class CoverageReport:
 
 
 def cell_coverage_fraction(state) -> float:
-    """Fraction of cells that currently have a head (i.e. are not holes)."""
+    """Fraction of cells that currently have a head (i.e. are not holes).
+
+    O(1): both terms come from the state's incremental indices.
+    """
     total = state.grid.cell_count
     vacant = state.hole_count
     return (total - vacant) / total if total else 1.0
@@ -122,7 +125,7 @@ def hole_cells_adjacency(state) -> Dict[GridCoord, List[GridCoord]]:
     Useful for analysing clustered holes produced by region jamming: the
     result maps each vacant cell to the vacant cells adjacent to it.
     """
-    vacant = set(state.vacant_cells())
+    vacant = state.vacant_cell_set()
     return {
         coord: [n for n in state.grid.neighbours(coord) if n in vacant]
         for coord in vacant

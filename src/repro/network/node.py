@@ -145,6 +145,20 @@ class SensorNode:
         """Account for the transmission cost of ``messages`` control messages."""
         self.consume_energy(MESSAGE_COST * messages)
 
+    # ------------------------------------------------------------------ copy
+    def copy(self) -> "SensorNode":
+        """Independent copy of the node (positions are immutable and shared)."""
+        return SensorNode(
+            node_id=self.node_id,
+            position=self.position,
+            state=self.state,
+            role=self.role,
+            energy=self.energy,
+            moved_distance=self.moved_distance,
+            move_count=self.move_count,
+            position_history=list(self.position_history),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"SensorNode(id={self.node_id}, pos=({self.position.x:.2f}, "

@@ -58,27 +58,60 @@ class UnitDiskRadio:
     def adjacency(
         self, nodes: Sequence[SensorNode]
     ) -> Dict[int, List[int]]:
-        """Adjacency lists (by node id) over the enabled nodes.
+        """Adjacency lists (by node id, ascending) over the enabled nodes.
 
-        Uses a vectorised pairwise-distance computation so that building the
-        neighbourhood of a few thousand nodes stays fast.
+        Nodes are hashed into square buckets of side ``R``, so two nodes in
+        range always fall into the same or an adjacent bucket.  Distances are
+        then computed vectorised per bucket pair, which keeps both time and
+        memory proportional to the number of *local* pairs instead of the
+        dense ``N x N`` matrix — 50k-node deployments stay tractable.
         """
         enabled = [n for n in nodes if n.is_enabled]
-        ids = [n.node_id for n in enabled]
         if not enabled:
             return {}
-        coords = np.array([[n.position.x, n.position.y] for n in enabled])
-        # Pairwise squared distances without scipy, chunked implicitly by numpy.
-        diff_x = coords[:, 0][:, None] - coords[:, 0][None, :]
-        diff_y = coords[:, 1][:, None] - coords[:, 1][None, :]
-        dist_sq = diff_x * diff_x + diff_y * diff_y
+        ids = np.array([n.node_id for n in enabled])
+        xs = np.array([n.position.x for n in enabled])
+        ys = np.array([n.position.y for n in enabled])
+        inverse = 1.0 / self.communication_range
+        bucket_x = np.floor(xs * inverse).astype(np.int64)
+        bucket_y = np.floor(ys * inverse).astype(np.int64)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for index, key in enumerate(zip(bucket_x.tolist(), bucket_y.tolist())):
+            buckets.setdefault(key, []).append(index)
+
         limit_sq = self.communication_range * self.communication_range + 1e-9
-        adjacency: Dict[int, List[int]] = {node_id: [] for node_id in ids}
-        rows, cols = np.nonzero(dist_sq <= limit_sq)
-        for i, j in zip(rows.tolist(), cols.tolist()):
-            if i == j:
-                continue
-            adjacency[ids[i]].append(ids[j])
+        adjacency: Dict[int, List[int]] = {node_id: [] for node_id in ids.tolist()}
+
+        def link(indices_a: np.ndarray, indices_b: np.ndarray) -> None:
+            for i, j in zip(indices_a.tolist(), indices_b.tolist()):
+                adjacency[ids[i]].append(int(ids[j]))
+                adjacency[ids[j]].append(int(ids[i]))
+
+        # Each unordered bucket pair is visited once: the bucket itself plus
+        # four "forward" neighbours; the remaining four directions are covered
+        # when the neighbouring bucket takes its turn.
+        forward_offsets = ((1, 0), (0, 1), (1, 1), (1, -1))
+        for (cell_x, cell_y), members in buckets.items():
+            local = np.array(members)
+            # Pairs within the bucket (i < j once; link() adds both directions).
+            if len(members) > 1:
+                diff_x = xs[local][:, None] - xs[local][None, :]
+                diff_y = ys[local][:, None] - ys[local][None, :]
+                close = diff_x * diff_x + diff_y * diff_y <= limit_sq
+                rows, cols = np.nonzero(np.triu(close, k=1))
+                link(local[rows], local[cols])
+            for offset_x, offset_y in forward_offsets:
+                other = buckets.get((cell_x + offset_x, cell_y + offset_y))
+                if not other:
+                    continue
+                remote = np.array(other)
+                diff_x = xs[local][:, None] - xs[remote][None, :]
+                diff_y = ys[local][:, None] - ys[remote][None, :]
+                close = diff_x * diff_x + diff_y * diff_y <= limit_sq
+                rows, cols = np.nonzero(close)
+                link(local[rows], remote[cols])
+        for neighbours in adjacency.values():
+            neighbours.sort()
         return adjacency
 
     def link_pairs(self, nodes: Sequence[SensorNode]) -> List[Tuple[int, int]]:

@@ -8,13 +8,31 @@ enforces the virtual-grid invariants of Section 2:
 * every cell with at least one enabled node has exactly one head,
 * a vacant cell (no enabled node) has no head,
 * the head of a cell is always one of the enabled nodes located in that cell.
+
+The per-round queries every controller depends on — holes, spares,
+occupancy — are served from *incremental indices* maintained by the three
+mutation paths (:meth:`WsnState.disable_node`, :meth:`WsnState.enable_node`,
+:meth:`WsnState.move_node`):
+
+* ``_cell_members`` — per-cell **sorted** lists of enabled node ids, so
+  :meth:`members_of` iterates deterministically without re-sorting;
+* ``_occupancy`` — per-cell enabled-node counters;
+* ``_vacant`` — the live set of vacant cells, making :attr:`hole_count`
+  O(1) and :meth:`vacant_cells` O(holes);
+* ``_spare_total`` — the running network-wide spare count, making
+  :attr:`spare_count` O(1).
+
+Round cost therefore scales with the number of holes and moves, not with the
+``m*n`` grid size.  :meth:`check_invariants` is the oracle for this contract:
+it rebuilds every index from scratch from the node list and asserts the
+incremental copies agree (see DESIGN.md, "The state-index contract").
 """
 
 from __future__ import annotations
 
-import copy
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from bisect import bisect_left, insort
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
 
 from repro.grid.geometry import Point
 from repro.grid.head_election import HeadElectionPolicy, elect_head, lowest_id_policy
@@ -59,16 +77,65 @@ class WsnState:
                     "the surveillance area"
                 )
             self._nodes[node.node_id] = node
-        self._cell_members: Dict[GridCoord, Set[int]] = {
-            coord: set() for coord in grid.all_coords()
+        self._cell_members: Dict[GridCoord, List[int]] = {
+            coord: [] for coord in grid.all_coords()
         }
         self._heads: Dict[GridCoord, Optional[int]] = {
             coord: None for coord in grid.all_coords()
         }
         for node in self._nodes.values():
             if node.is_enabled:
-                self._cell_members[self.grid.cell_of(node.position)].add(node.node_id)
+                self._cell_members[self.grid.cell_of(node.position)].append(
+                    node.node_id
+                )
+        # Build the counters in one pass instead of via _index_add so the
+        # vacant set is allocated at its true size: a set pre-seeded with all
+        # m*n cells and then discarded down never shrinks its hash table, and
+        # every later iteration of it (vacant_cells is a per-round query)
+        # would silently stay O(m*n).
+        self._occupancy: Dict[GridCoord, int] = {}
+        self._vacant: Set[GridCoord] = set()
+        self._spare_total = 0
+        self._enabled_total = 0
+        for coord, members in self._cell_members.items():
+            members.sort()
+            count = len(members)
+            self._occupancy[coord] = count
+            self._enabled_total += count
+            if count == 0:
+                self._vacant.add(coord)
+            else:
+                self._spare_total += count - 1
         self.elect_all_heads()
+
+    # ----------------------------------------------------- index maintenance
+    def _index_add(self, coord: GridCoord, node_id: int) -> None:
+        """Register an enabled node in ``coord``, updating every index."""
+        insort(self._cell_members[coord], node_id)
+        count = self._occupancy[coord] + 1
+        self._occupancy[coord] = count
+        self._enabled_total += 1
+        if count == 1:
+            self._vacant.discard(coord)
+        else:
+            self._spare_total += 1
+
+    def _index_remove(self, coord: GridCoord, node_id: int) -> None:
+        """Unregister an enabled node from ``coord``, updating every index."""
+        members = self._cell_members[coord]
+        position = bisect_left(members, node_id)
+        if position >= len(members) or members[position] != node_id:
+            raise KeyError(
+                f"node {node_id} is not indexed in cell {coord.as_tuple()}"
+            )
+        members.pop(position)
+        count = self._occupancy[coord] - 1
+        self._occupancy[coord] = count
+        self._enabled_total -= 1
+        if count == 0:
+            self._vacant.add(coord)
+        else:
+            self._spare_total -= 1
 
     # ------------------------------------------------------------------ nodes
     def node(self, node_id: int) -> SensorNode:
@@ -93,7 +160,7 @@ class WsnState:
 
     @property
     def enabled_count(self) -> int:
-        return sum(1 for node in self._nodes.values() if node.is_enabled)
+        return self._enabled_total
 
     # ------------------------------------------------------------------ cells
     def cell_of_node(self, node_id: int) -> GridCoord:
@@ -101,13 +168,17 @@ class WsnState:
         return self.grid.cell_of(self.node(node_id).position)
 
     def members_of(self, coord: GridCoord) -> List[SensorNode]:
-        """Enabled nodes currently located in cell ``coord``."""
+        """Enabled nodes currently located in cell ``coord``, in id order.
+
+        The per-cell index is kept sorted by the mutation paths, so this is a
+        plain lookup — no per-call re-sort.
+        """
         self.grid.validate_coord(coord)
-        return [self._nodes[node_id] for node_id in sorted(self._cell_members[coord])]
+        return [self._nodes[node_id] for node_id in self._cell_members[coord]]
 
     def member_count(self, coord: GridCoord) -> int:
         self.grid.validate_coord(coord)
-        return len(self._cell_members[coord])
+        return self._occupancy[coord]
 
     def head_of(self, coord: GridCoord) -> Optional[SensorNode]:
         """The grid head of ``coord``, or ``None`` when the cell is vacant."""
@@ -116,10 +187,12 @@ class WsnState:
         return None if head_id is None else self._nodes[head_id]
 
     def spares_of(self, coord: GridCoord) -> List[SensorNode]:
-        """Enabled non-head nodes in ``coord`` (the cell's spare nodes)."""
+        """Enabled non-head nodes in ``coord`` (the cell's spare nodes), in id order."""
         head_id = self._heads[self.grid.validate_coord(coord)]
         return [
-            node for node in self.members_of(coord) if node.node_id != head_id
+            self._nodes[node_id]
+            for node_id in self._cell_members[coord]
+            if node_id != head_id
         ]
 
     def has_spare(self, coord: GridCoord) -> bool:
@@ -127,23 +200,28 @@ class WsnState:
 
     def is_vacant(self, coord: GridCoord) -> bool:
         """Whether ``coord`` has no enabled node (a hole in the coverage)."""
-        return self.member_count(coord) == 0
+        self.grid.validate_coord(coord)
+        return coord in self._vacant
 
     def vacant_cells(self) -> List[GridCoord]:
-        """All holes, in row-major order."""
-        return [coord for coord in self.grid.all_coords() if self.is_vacant(coord)]
+        """All holes, in row-major order.  Costs O(holes log holes), not O(m*n)."""
+        return sorted(self._vacant, key=lambda coord: (coord.y, coord.x))
+
+    def vacant_cell_set(self) -> FrozenSet[GridCoord]:
+        """The current holes as an (unordered) frozen set — an O(holes) snapshot."""
+        return frozenset(self._vacant)
 
     def occupied_cells(self) -> List[GridCoord]:
-        return [coord for coord in self.grid.all_coords() if not self.is_vacant(coord)]
+        return [coord for coord in self.grid.all_coords() if coord not in self._vacant]
 
     @property
     def hole_count(self) -> int:
-        return sum(1 for coord in self.grid.all_coords() if self.is_vacant(coord))
+        return len(self._vacant)
 
     @property
     def spare_count(self) -> int:
         """Total number of spare nodes in the network."""
-        return sum(max(0, len(members) - 1) for members in self._cell_members.values())
+        return self._spare_total
 
     @property
     def spare_surplus(self) -> int:
@@ -156,14 +234,11 @@ class WsnState:
 
     def occupancy(self) -> Dict[GridCoord, int]:
         """Enabled-node count for every cell."""
-        return {coord: len(members) for coord, members in self._cell_members.items()}
+        return dict(self._occupancy)
 
     def spare_counts(self) -> Dict[GridCoord, int]:
         """Spare-node count for every cell."""
-        return {
-            coord: max(0, len(members) - 1)
-            for coord, members in self._cell_members.items()
-        }
+        return {coord: max(0, count - 1) for coord, count in self._occupancy.items()}
 
     # ---------------------------------------------------------------- changes
     def disable_node(self, node_id: int, reason: NodeState = NodeState.FAILED) -> None:
@@ -173,7 +248,7 @@ class WsnState:
             return
         coord = self.grid.cell_of(node.position)
         node.disable(reason)
-        self._cell_members[coord].discard(node_id)
+        self._index_remove(coord, node_id)
         if self._heads[coord] == node_id:
             self._heads[coord] = None
             self._elect_cell_head(coord)
@@ -185,7 +260,7 @@ class WsnState:
             return
         node.enable()
         coord = self.grid.cell_of(node.position)
-        self._cell_members[coord].add(node_id)
+        self._index_add(coord, node_id)
         self._elect_cell_head(coord)
 
     def move_node(
@@ -223,8 +298,8 @@ class WsnState:
             process_id=process_id,
             target_position=target_position,
         )
-        self._cell_members[source_cell].discard(node_id)
-        self._cell_members[target_cell].add(node_id)
+        self._index_remove(source_cell, node_id)
+        self._index_add(target_cell, node_id)
         if self._heads[source_cell] == node_id:
             self._heads[source_cell] = None
             self._elect_cell_head(source_cell)
@@ -281,28 +356,83 @@ class WsnState:
 
     # ------------------------------------------------------------------ misc
     def clone(self) -> "WsnState":
-        """Deep copy of the state, useful for running several schemes on one scenario."""
-        return copy.deepcopy(self)
+        """Independent copy of the state, for running several schemes on one scenario.
+
+        This is an explicit structural copy, not ``copy.deepcopy``: the grid,
+        head policy, and movement model are immutable and shared, the nodes
+        are copied one by one, and the incremental indices are copied
+        container-by-container.  Sweep fan-out over one scenario therefore
+        pays O(nodes + cells) per clone instead of a full recursive deepcopy.
+        """
+        twin = WsnState.__new__(WsnState)
+        twin.grid = self.grid
+        twin._head_policy = self._head_policy
+        twin.movement_model = self.movement_model
+        twin._nodes = {
+            node_id: node.copy() for node_id, node in self._nodes.items()
+        }
+        twin._cell_members = {
+            coord: list(members) for coord, members in self._cell_members.items()
+        }
+        twin._heads = dict(self._heads)
+        twin._occupancy = dict(self._occupancy)
+        twin._vacant = set(self._vacant)
+        twin._spare_total = self._spare_total
+        twin._enabled_total = self._enabled_total
+        return twin
 
     def check_invariants(self) -> None:
-        """Raise :class:`AssertionError` if any grid-overlay invariant is violated."""
-        for coord in self.grid.all_coords():
+        """Raise :class:`AssertionError` if any index or grid-overlay invariant is violated.
+
+        This is the oracle of the state-index contract: every incremental
+        index (membership lists, occupancy counters, vacant set, spare and
+        enabled totals) is compared against a from-scratch rebuild derived
+        from the node list, and the head invariants of Section 2 are checked
+        on top.
+        """
+        rebuilt: Dict[GridCoord, List[int]] = {
+            coord: [] for coord in self.grid.all_coords()
+        }
+        enabled_total = 0
+        for node in self._nodes.values():
+            if node.is_enabled:
+                rebuilt[self.grid.cell_of(node.position)].append(node.node_id)
+                enabled_total += 1
+        assert self._enabled_total == enabled_total, (
+            f"enabled total {self._enabled_total} != rebuilt {enabled_total}"
+        )
+        spare_total = 0
+        vacant = set()
+        for coord, expected in rebuilt.items():
+            expected.sort()
             members = self._cell_members[coord]
-            for node_id in members:
-                node = self._nodes[node_id]
-                assert node.is_enabled, f"disabled node {node_id} indexed in {coord}"
-                assert self.grid.cell_of(node.position) == coord, (
-                    f"node {node_id} indexed in {coord.as_tuple()} but located in "
-                    f"{self.grid.cell_of(node.position).as_tuple()}"
-                )
+            assert members == expected, (
+                f"membership index of {coord.as_tuple()} is {members}, "
+                f"rebuild says {expected}"
+            )
+            assert self._occupancy[coord] == len(expected), (
+                f"occupancy counter of {coord.as_tuple()} is "
+                f"{self._occupancy[coord]}, rebuild says {len(expected)}"
+            )
+            if expected:
+                spare_total += len(expected) - 1
+            else:
+                vacant.add(coord)
             head_id = self._heads[coord]
-            if members:
+            if expected:
                 assert head_id is not None, f"occupied cell {coord.as_tuple()} has no head"
-                assert head_id in members, (
+                assert head_id in expected, (
                     f"head {head_id} of cell {coord.as_tuple()} is not one of its members"
                 )
             else:
                 assert head_id is None, f"vacant cell {coord.as_tuple()} has a head"
+        assert self._vacant == vacant, (
+            f"vacant-cell index has {sorted(c.as_tuple() for c in self._vacant)}, "
+            f"rebuild says {sorted(c.as_tuple() for c in vacant)}"
+        )
+        assert self._spare_total == spare_total, (
+            f"spare total {self._spare_total} != rebuilt {spare_total}"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

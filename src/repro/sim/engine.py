@@ -121,10 +121,14 @@ class RoundBasedEngine:
             outcomes.append(outcome)
             rounds_executed = round_index + 1
             self._emit_outcome(outcome)
+            # hole_count and spare_count are O(1) reads of the state's
+            # incremental indices, so per-round sampling stays cheap on
+            # arbitrarily large grids.
             series.record(
                 holes=self.state.hole_count,
                 moves=outcome.move_count,
                 distance=outcome.total_distance,
+                spares=self.state.spare_count,
             )
 
             if outcome.made_progress:

@@ -92,7 +92,11 @@ class InitialSnapshot:
 
 
 def snapshot_state(state) -> InitialSnapshot:
-    """Capture the pre-recovery statistics of a network state."""
+    """Capture the pre-recovery statistics of a network state.
+
+    All four statistics are O(1) reads of the state's incremental indices,
+    so snapshots may be taken every round without a grid scan.
+    """
     total_cells = state.grid.cell_count
     holes = state.hole_count
     return InitialSnapshot(
@@ -139,16 +143,27 @@ def collect_metrics(
 
 @dataclass
 class RoundSeries:
-    """Per-round time series collected by the engine (for plots and debugging)."""
+    """Per-round time series collected by the engine (for plots and debugging).
+
+    The ``spares`` series is recorded when the caller supplies it; with the
+    incremental state indices both the hole count and the spare count are
+    O(1) queries, so the engine can afford to sample them every round even on
+    large grids.
+    """
 
     holes: List[int] = field(default_factory=list)
     moves: List[int] = field(default_factory=list)
     distance: List[float] = field(default_factory=list)
+    spares: List[int] = field(default_factory=list)
 
-    def record(self, holes: int, moves: int, distance: float) -> None:
+    def record(
+        self, holes: int, moves: int, distance: float, spares: Optional[int] = None
+    ) -> None:
         self.holes.append(holes)
         self.moves.append(moves)
         self.distance.append(distance)
+        if spares is not None:
+            self.spares.append(spares)
 
     @property
     def rounds(self) -> int:

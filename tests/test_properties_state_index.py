@@ -1,0 +1,127 @@
+"""Property tests for the incremental state indices of :class:`WsnState`.
+
+The state keeps live indices (per-cell sorted membership, occupancy
+counters, the vacant-cell set, and running spare/enabled totals) that are
+updated by the three mutation paths — ``disable_node``, ``enable_node``, and
+``move_node``.  These tests drive long seeded sequences of random mutations
+and assert, via ``check_invariants`` (the contract's oracle, which rebuilds
+every index from scratch) and an explicit rebuilt ``WsnState``, that the
+incremental indices never drift from the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.deployment import deploy_uniform
+from repro.network.state import WsnState
+
+#: Number of seeded mutation sequences (acceptance: 200+).
+SEQUENCE_COUNT = 220
+#: Mutations per sequence.
+OPERATIONS_PER_SEQUENCE = 30
+
+
+def _random_state(rng: random.Random) -> WsnState:
+    grid = VirtualGrid(columns=4, rows=4, cell_size=1.0)
+    nodes = deploy_uniform(grid, rng.randint(10, 36), rng)
+    return WsnState(grid, nodes)
+
+
+def _apply_random_operation(state: WsnState, rng: random.Random) -> None:
+    """One random disable / enable / move, skipping impossible choices."""
+    operation = rng.random()
+    enabled = state.enabled_nodes()
+    if operation < 0.35:
+        if enabled:
+            state.disable_node(rng.choice(enabled).node_id)
+    elif operation < 0.55:
+        disabled = state.disabled_nodes()
+        if disabled:
+            state.enable_node(rng.choice(disabled).node_id)
+    elif enabled:
+        node = rng.choice(enabled)
+        source = state.cell_of_node(node.node_id)
+        if operation < 0.9:
+            neighbours = state.grid.neighbours(source)
+            state.move_node(node.node_id, rng.choice(neighbours), rng)
+        else:
+            target = GridCoord(
+                rng.randrange(state.grid.columns), rng.randrange(state.grid.rows)
+            )
+            state.move_node(node.node_id, target, rng, enforce_adjacent=False)
+
+
+@pytest.mark.parametrize("seed", range(SEQUENCE_COUNT))
+def test_incremental_indices_match_rebuild(seed):
+    """After every mutation the live indices equal a from-scratch rebuild."""
+    rng = random.Random(seed)
+    state = _random_state(rng)
+    state.check_invariants()
+    for _ in range(OPERATIONS_PER_SEQUENCE):
+        _apply_random_operation(state, rng)
+        state.check_invariants()
+
+    # Cross-check against an independently constructed WsnState built from
+    # copies of the surviving nodes: every derived statistic must agree.
+    rebuilt = WsnState(state.grid, [node.copy() for node in state.nodes()])
+    assert rebuilt.occupancy() == state.occupancy()
+    assert rebuilt.spare_counts() == state.spare_counts()
+    assert rebuilt.vacant_cells() == state.vacant_cells()
+    assert rebuilt.vacant_cell_set() == state.vacant_cell_set()
+    assert rebuilt.hole_count == state.hole_count
+    assert rebuilt.spare_count == state.spare_count
+    assert rebuilt.enabled_count == state.enabled_count
+    for coord in state.grid.all_coords():
+        assert [n.node_id for n in rebuilt.members_of(coord)] == [
+            n.node_id for n in state.members_of(coord)
+        ]
+
+
+@pytest.mark.parametrize("seed", range(0, SEQUENCE_COUNT, 10))
+def test_clone_preserves_indices_and_stays_independent(seed):
+    """Structural clones share no mutable state with the original."""
+    rng = random.Random(seed)
+    state = _random_state(rng)
+    for _ in range(10):
+        _apply_random_operation(state, rng)
+    twin = state.clone()
+    twin.check_invariants()
+    assert twin.occupancy() == state.occupancy()
+    assert twin.heads() == state.heads()
+
+    before = state.occupancy()
+    for _ in range(10):
+        _apply_random_operation(twin, rng)
+        twin.check_invariants()
+    assert state.occupancy() == before
+    state.check_invariants()
+
+
+def test_corrupted_occupancy_counter_is_detected():
+    rng = random.Random(99)
+    state = _random_state(rng)
+    coord = next(iter(state.grid.all_coords()))
+    state._occupancy[coord] += 1
+    with pytest.raises(AssertionError):
+        state.check_invariants()
+
+
+def test_corrupted_vacant_set_is_detected():
+    rng = random.Random(99)
+    state = _random_state(rng)
+    occupied = [c for c in state.grid.all_coords() if not state.is_vacant(c)]
+    state._vacant.add(occupied[0])
+    with pytest.raises(AssertionError):
+        state.check_invariants()
+
+
+def test_corrupted_spare_total_is_detected():
+    rng = random.Random(99)
+    state = _random_state(rng)
+    state._spare_total += 1
+    with pytest.raises(AssertionError):
+        state.check_invariants()
