@@ -117,11 +117,18 @@ class SmartScanController(MobilityController):
 
     @staticmethod
     def _pick_mover(state: WsnState, source: GridCoord, target: GridCoord) -> Optional[int]:
-        """Prefer moving a spare; move the head only when it is the last node."""
-        candidates = state.spares_of(source)
+        """Prefer moving a usable spare; fall back to the head otherwise.
+
+        Battery-depleted nodes cannot move and are never picked — so the head
+        also moves when every remaining spare in the cell is depleted, not
+        only when it is literally the last node.
+        """
+        candidates = [
+            node for node in state.spares_of(source) if not node.is_battery_depleted
+        ]
         if not candidates:
             head = state.head_of(source)
-            if head is None:
+            if head is None or head.is_battery_depleted:
                 return None
             candidates = [head]
         target_center = state.grid.cell_center(target)

@@ -99,8 +99,9 @@ class VirtualForceController(MobilityController):
         planned: List[tuple] = []
         for node in enabled:
             # Heads stay put: removing a head would create a new hole, which
-            # no virtual-force formulation intends.
-            if node.is_head:
+            # no virtual-force formulation intends.  Depleted nodes have no
+            # motor power left and stay where they are.
+            if node.is_head or node.is_battery_depleted:
                 continue
             force = self._force_on(node, buckets, vacant_centers, repulsion_range, attraction_range)
             magnitude = math.hypot(force[0], force[1])

@@ -7,6 +7,9 @@ library without writing any code:
   (tables, optional CSV export, optional ASCII charts);
 * ``compare`` — run any subset of the implemented schemes on one scenario and
   print their cost metrics side by side;
+* ``lifetime`` — run schemes to network death under the energy model and
+  report how many rounds each kept the area covered (``--smoke`` runs the CI
+  determinism/physics gate instead);
 * ``analyze`` — evaluate the Theorem-2 analytical model for a given spare
   count and Hamilton-path length;
 * ``layout`` — print the Hamilton cycle or dual-path construction of a grid.
@@ -36,6 +39,12 @@ from repro.experiments.figures import (
     figure8_total_distance,
     run_section5_experiment,
 )
+from repro.experiments.lifetime import (
+    DEFAULT_LIFETIME_SCHEMES,
+    LIFETIME_CONFIG,
+    run_lifetime_experiment,
+    run_lifetime_smoke,
+)
 from repro.experiments.orchestration import (
     RunExecutor,
     RunSpec,
@@ -46,6 +55,7 @@ from repro.experiments.persistence import RunCache
 from repro.experiments.plotting import ascii_chart
 from repro.experiments.registry import available_schemes
 from repro.experiments.results import ExperimentResult
+from repro.network.energy import EnergyModel
 from repro.sim.scenario import ScenarioConfig
 
 #: Figures that need the experimental SR-vs-AR sweep (as opposed to analysis only).
@@ -120,6 +130,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="schemes to run",
     )
     _add_execution_arguments(compare)
+
+    lifetime = subparsers.add_parser(
+        "lifetime",
+        help="run schemes to network death under the energy model and report lifetimes",
+    )
+    lifetime.add_argument(
+        "--columns", type=int, default=LIFETIME_CONFIG.columns, help="virtual-grid columns (n)"
+    )
+    lifetime.add_argument(
+        "--rows", type=int, default=LIFETIME_CONFIG.rows, help="virtual-grid rows (m)"
+    )
+    lifetime.add_argument(
+        "--nodes",
+        "--deployed",
+        dest="deployed",
+        type=int,
+        default=LIFETIME_CONFIG.deployed_count,
+        help="number of deployed sensors (--deployed is an accepted alias)",
+    )
+    lifetime.add_argument(
+        "--spare-surplus",
+        type=int,
+        default=LIFETIME_CONFIG.spare_surplus,
+        help="the paper's N (enabled - m*n)",
+    )
+    lifetime.add_argument(
+        "--communication-range", type=float, default=LIFETIME_CONFIG.communication_range
+    )
+    lifetime.add_argument("--seed", type=int, default=LIFETIME_CONFIG.seed)
+    lifetime.add_argument(
+        "--initial-energy",
+        type=float,
+        default=LIFETIME_CONFIG.initial_energy,
+        help="battery capacity per node in joules",
+    )
+    lifetime.add_argument(
+        "--energy-jitter",
+        type=float,
+        default=LIFETIME_CONFIG.initial_energy_jitter,
+        help="fraction in [0, 1) by which individual batteries fall below the capacity",
+    )
+    lifetime.add_argument(
+        "--idle-cost",
+        type=float,
+        default=0.25,
+        help="idle/sensing drain per node per round (joules)",
+    )
+    lifetime.add_argument(
+        "--depletion-threshold",
+        type=float,
+        default=0.0,
+        help="remaining energy at or below which the engine disables a node",
+    )
+    lifetime.add_argument(
+        "--max-rounds", type=int, default=1500, help="hard bound on simulation rounds"
+    )
+    lifetime.add_argument(
+        "--trials", type=int, default=1, help="independent trials to average"
+    )
+    lifetime.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(DEFAULT_LIFETIME_SCHEMES),
+        choices=list(available_schemes()),
+        help="schemes to run to network death",
+    )
+    lifetime.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
+    )
+    lifetime.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI smoke gate (fixed workload, determinism + physics checks) "
+        "instead of the configured experiment",
+    )
+    _add_execution_arguments(lifetime)
 
     analyze = subparsers.add_parser(
         "analyze", help="evaluate the Theorem-2 analytical model"
@@ -317,6 +403,56 @@ def _compare_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lifetime_command(args: argparse.Namespace) -> int:
+    if args.smoke:
+        failures = run_lifetime_smoke(jobs=max(2, args.jobs))
+        if failures:
+            for failure in failures:
+                print(f"lifetime smoke FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("lifetime smoke OK: depletion wired into the round loop, records deterministic")
+        return 0
+
+    try:
+        config = ScenarioConfig(
+            columns=args.columns,
+            rows=args.rows,
+            communication_range=args.communication_range,
+            deployed_count=args.deployed,
+            spare_surplus=args.spare_surplus,
+            seed=args.seed,
+            initial_energy=args.initial_energy,
+            initial_energy_jitter=args.energy_jitter,
+        )
+        energy = EnergyModel(
+            idle_cost_per_round=args.idle_cost,
+            depletion_threshold=args.depletion_threshold,
+        )
+        executor, cache = _execution_backend(args)
+        result = run_lifetime_experiment(
+            config=config,
+            schemes=args.schemes,
+            energy=energy,
+            trials=args.trials,
+            max_rounds=args.max_rounds,
+            executor=executor,
+            cache=cache,
+        )
+    except ValueError as error:
+        print(f"lifetime: {error}", file=sys.stderr)
+        return 2
+    if cache is not None and cache.hits:
+        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+        print()
+    _emit(result, args.csv_dir, "lifetime_comparison.csv")
+    best = max(result.rows, key=lambda row: float(row["lifetime_rounds"]))
+    print(
+        f"longest-lived scheme: {best['scheme']} "
+        f"({float(best['lifetime_rounds']):.1f} rounds to the first unrepairable hole)"
+    )
+    return 0
+
+
 def _analyze_command(args: argparse.Namespace) -> int:
     moves = analysis.expected_movements(args.spares, args.path_length)
     distance = analysis.expected_total_distance(args.spares, args.path_length, args.cell_size)
@@ -351,6 +487,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _figures_command(args)
     if args.command == "compare":
         return _compare_command(args)
+    if args.command == "lifetime":
+        return _lifetime_command(args)
     if args.command == "analyze":
         return _analyze_command(args)
     if args.command == "layout":

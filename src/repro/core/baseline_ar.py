@@ -64,6 +64,11 @@ class LocalizedReplacementController(MobilityController):
     stall_limit:
         Number of rounds a process may be starved (its supplier head busy
         serving another process) before it gives up.
+    spare_selection:
+        ``"nearest"`` (default) sends the spare closest to the target cell's
+        centre; ``"max_energy"`` sends the fullest-battery spare (ties broken
+        by distance, then id) — the energy-aware policy of the lifetime
+        workloads.
     """
 
     name = "AR"
@@ -73,6 +78,7 @@ class LocalizedReplacementController(MobilityController):
         grid: VirtualGrid,
         max_hops: Optional[int] = None,
         stall_limit: int = 8,
+        spare_selection: str = "nearest",
     ) -> None:
         super().__init__()
         self.grid = grid
@@ -82,6 +88,11 @@ class LocalizedReplacementController(MobilityController):
         if stall_limit < 1:
             raise ValueError(f"stall_limit must be >= 1, got {stall_limit}")
         self.stall_limit = stall_limit
+        if spare_selection not in ("nearest", "max_energy"):
+            raise ValueError(
+                f"spare_selection must be 'nearest' or 'max_energy', got {spare_selection!r}"
+            )
+        self.spare_selection = spare_selection
         self._cascades: Dict[int, _CascadeState] = {}
         #: Original holes that already triggered their burst of processes.
         self._announced_holes: Set[GridCoord] = set()
@@ -188,8 +199,17 @@ class LocalizedReplacementController(MobilityController):
 
         head = state.head_of(supplier)
         assert head is not None
+        if head.is_battery_depleted:
+            # A dead-battery head can neither move nor message; with 1-hop
+            # knowledge the process can only wait (and eventually starve) —
+            # under the energy model the head is disabled next round and a
+            # charged successor takes over.
+            cascade.stalls += 1
+            if cascade.stalls > self.stall_limit:
+                self._fail(process, cascade, round_index, outcome)
+            return
         acted_heads.add(supplier)
-        spare = self._nearest_spare(state, supplier, target)
+        spare = self._select_spare(state, supplier, target)
         if spare is not None:
             record = state.move_node(
                 spare.node_id, target, rng, round_index, process_id=process_id
@@ -202,12 +222,14 @@ class LocalizedReplacementController(MobilityController):
             return
 
         # No spare: the head itself moves into the target, vacating its cell.
+        # The message is debited after the move so a charge that empties the
+        # battery cannot abort the move the head committed to this round.
         process.notifications_sent += 1
         outcome.messages_sent += 1
-        head.charge_message_cost()
         record = state.move_node(
             head.node_id, target, rng, round_index, process_id=process_id
         )
+        head.charge_message_cost(cost=self.message_cost)
         process.record_move(record)
         outcome.moves.append(record)
         self._cascade_vacancies.discard(target)
@@ -260,14 +282,24 @@ class LocalizedReplacementController(MobilityController):
         new_direction = (vacated.x - chosen.x, vacated.y - chosen.y)
         return chosen, new_direction
 
-    @staticmethod
-    def _nearest_spare(
-        state: WsnState, cell: GridCoord, target: GridCoord
+    def _select_spare(
+        self, state: WsnState, cell: GridCoord, target: GridCoord
     ) -> Optional[SensorNode]:
-        spares = state.spares_of(cell)
+        spares = [
+            node for node in state.spares_of(cell) if not node.is_battery_depleted
+        ]
         if not spares:
             return None
         target_center = state.grid.cell_center(target)
+        if self.spare_selection == "max_energy":
+            return max(
+                spares,
+                key=lambda node: (
+                    node.energy,
+                    -node.position.distance_to(target_center),
+                    -node.node_id,
+                ),
+            )
         return min(
             spares,
             key=lambda node: (node.position.distance_to(target_center), node.node_id),

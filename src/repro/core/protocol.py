@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.grid.virtual_grid import GridCoord
 from repro.network.mobility import MoveRecord
+from repro.network.node import MESSAGE_COST
 from repro.network.state import WsnState
 
 
@@ -123,6 +124,10 @@ class MobilityController(abc.ABC):
     def __init__(self) -> None:
         self._processes: Dict[int, ReplacementProcess] = {}
         self._next_process_id = 0
+        #: Joules debited from a head per control message it sends.  The
+        #: engine overrides this from its energy model so node-level message
+        #: debits follow the configured physics.
+        self.message_cost: float = MESSAGE_COST
 
     # ----------------------------------------------------------------- rounds
     @abc.abstractmethod

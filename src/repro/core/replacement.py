@@ -46,7 +46,10 @@ class HamiltonReplacementController(MobilityController):
     spare_selection:
         ``"nearest"`` (default) sends the spare closest to the vacant cell's
         centre; ``"random"`` picks a uniformly random spare, matching the
-        loosest reading of the paper.
+        loosest reading of the paper; ``"max_energy"`` sends the spare with
+        the fullest battery (ties broken by distance, then id), so repeated
+        replacement stops draining the same nearest node — the energy-aware
+        policy of the lifetime workloads.
     activation_probability:
         Probability that a responsible head acts in a given round.  The
         default of 1.0 is the paper's round-based model; values below 1.0
@@ -67,9 +70,10 @@ class HamiltonReplacementController(MobilityController):
         activation_probability: float = 1.0,
     ) -> None:
         super().__init__()
-        if spare_selection not in ("nearest", "random"):
+        if spare_selection not in ("nearest", "random", "max_energy"):
             raise ValueError(
-                f"spare_selection must be 'nearest' or 'random', got {spare_selection!r}"
+                "spare_selection must be 'nearest', 'random', or 'max_energy', "
+                f"got {spare_selection!r}"
             )
         if not 0.0 < activation_probability <= 1.0:
             raise ValueError(
@@ -122,6 +126,11 @@ class HamiltonReplacementController(MobilityController):
                 continue
             head = state.head_of(initiator)
             assert head is not None
+            if head.is_battery_depleted:
+                # A dead-battery head can neither move nor message; the
+                # vacancy waits until the energy model disables the head and
+                # a charged successor is elected.
+                continue
 
             if process is None:
                 process = self._start_process(
@@ -164,13 +173,15 @@ class HamiltonReplacementController(MobilityController):
 
         # Step 3: no spare — the head notifies its own initiator and moves
         # itself into the vacant cell, leaving its cell vacant for the
-        # cascading replacement.
+        # cascading replacement.  The message is debited after the move: a
+        # head whose battery would be emptied by the message charge must
+        # still complete the move it committed to this round.
         process.notifications_sent += 1
         outcome.messages_sent += 1
-        head.charge_message_cost()
         record = state.move_node(
             head.node_id, vacant, rng, round_index, process_id=process.process_id
         )
+        head.charge_message_cost(cost=self.message_cost)
         process.record_move(record)
         outcome.moves.append(record)
         del self._vacancy_process[vacant]
@@ -184,6 +195,13 @@ class HamiltonReplacementController(MobilityController):
             return
         self._vacancy_process[initiator] = process.process_id
 
+    @staticmethod
+    def _usable_spares(state: WsnState, cell: GridCoord) -> List[SensorNode]:
+        """Spares of ``cell`` that still have the battery to move."""
+        return [
+            node for node in state.spares_of(cell) if not node.is_battery_depleted
+        ]
+
     def _select_spare(
         self,
         state: WsnState,
@@ -191,12 +209,21 @@ class HamiltonReplacementController(MobilityController):
         vacant: GridCoord,
         rng: random.Random,
     ) -> Optional[SensorNode]:
-        spares = state.spares_of(cell)
+        spares = self._usable_spares(state, cell)
         if not spares:
             return None
         if self.spare_selection == "random":
             return spares[rng.randrange(len(spares))]
         target_center = state.grid.cell_center(vacant)
+        if self.spare_selection == "max_energy":
+            return max(
+                spares,
+                key=lambda node: (
+                    node.energy,
+                    -node.position.distance_to(target_center),
+                    -node.node_id,
+                ),
+            )
         return min(
             spares,
             key=lambda node: (node.position.distance_to(target_center), node.node_id),

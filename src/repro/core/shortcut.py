@@ -86,7 +86,7 @@ class ShortcutReplacementController(HamiltonReplacementController):
         candidates = [
             cell
             for cell in self._shortcut_cells(state, vacant)
-            if cell.is_neighbour_of(vacant) and state.has_spare(cell)
+            if cell.is_neighbour_of(vacant) and self._usable_spares(state, cell)
         ]
         if not candidates:
             return None
@@ -94,7 +94,7 @@ class ShortcutReplacementController(HamiltonReplacementController):
         # broken by coordinates, so repeated runs stay reproducible.
         return max(
             candidates,
-            key=lambda cell: (len(state.spares_of(cell)), (-cell.x, -cell.y)),
+            key=lambda cell: (len(self._usable_spares(state, cell)), (-cell.x, -cell.y)),
         )
 
     def _serve_vacancy(
@@ -108,9 +108,10 @@ class ShortcutReplacementController(HamiltonReplacementController):
         process: ReplacementProcess,
         outcome: RoundOutcome,
     ) -> None:
-        # Step 2 of Algorithm 1 is unchanged: a spare in the initiator cell
-        # always wins (it is also a 1-hop move and needs no extra messages).
-        if state.has_spare(initiator):
+        # Step 2 of Algorithm 1 is unchanged: a usable (non-depleted) spare in
+        # the initiator cell always wins (it is also a 1-hop move and needs no
+        # extra messages).
+        if self._usable_spares(state, initiator):
             super()._serve_vacancy(
                 state, rng, round_index, vacant, initiator, head, process, outcome
             )
@@ -130,7 +131,7 @@ class ShortcutReplacementController(HamiltonReplacementController):
         assert spare is not None
         process.notifications_sent += 1
         outcome.messages_sent += 1
-        head.charge_message_cost()
+        head.charge_message_cost(cost=self.message_cost)
         record = state.move_node(
             spare.node_id, vacant, rng, round_index, process_id=process.process_id
         )

@@ -38,6 +38,14 @@ from repro.experiments.sweep import (
     run_comparison,
     run_single,
 )
+from repro.experiments.lifetime import (
+    DEFAULT_LIFETIME_SCHEMES,
+    LIFETIME_CONFIG,
+    LIFETIME_ENERGY,
+    build_lifetime_specs,
+    run_lifetime_experiment,
+    run_lifetime_smoke,
+)
 from repro.experiments.figures import (
     PAPER_SPARE_VALUES,
     QUICK_SPARE_VALUES,
@@ -89,4 +97,10 @@ __all__ = [
     "figure7_node_movements",
     "figure8_total_distance",
     "run_section5_experiment",
+    "DEFAULT_LIFETIME_SCHEMES",
+    "LIFETIME_CONFIG",
+    "LIFETIME_ENERGY",
+    "build_lifetime_specs",
+    "run_lifetime_experiment",
+    "run_lifetime_smoke",
 ]

@@ -32,7 +32,7 @@ import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.experiments.registry import (
     BUILTIN_FACTORIES,
@@ -40,6 +40,7 @@ from repro.experiments.registry import (
     SchemeFactory,
     make_controller,
 )
+from repro.network.energy import EnergyModel
 from repro.network.state import WsnState
 from repro.sim.engine import DEFAULT_IDLE_ROUND_LIMIT, RoundBasedEngine
 from repro.sim.metrics import RunMetrics
@@ -68,6 +69,13 @@ class RunSpec:
         Optional hard bound on simulation rounds (``None``: engine default).
     idle_round_limit:
         Consecutive no-progress rounds before the engine declares a stall.
+    energy:
+        Optional :class:`~repro.network.energy.EnergyModel` the engine applies
+        every round (idle drain + engine-driven depletion).  Frozen, so the
+        spec stays hashable and picklable.
+    run_to_exhaustion:
+        Run-until-network-death mode for lifetime workloads (only meaningful
+        together with an energy model whose idle drain is positive).
     """
 
     scenario: ScenarioConfig
@@ -75,6 +83,8 @@ class RunSpec:
     seed: int
     max_rounds: Optional[int] = None
     idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT
+    energy: Optional[EnergyModel] = None
+    run_to_exhaustion: bool = False
 
     def controller_rng_label(self) -> str:
         """Label of the controller random stream (kept stable for reproducibility)."""
@@ -89,6 +99,12 @@ class RunRecord:
     metrics: RunMetrics
     rounds_executed: int
     stalled: bool
+    #: Whether the run hit its round bound before finishing (a bound-hit run
+    #: with holes left is also reported as stalled).
+    exhausted: bool = False
+    #: Per-round total remaining energy of the enabled nodes; empty unless the
+    #: spec carried an energy model.
+    energy_series: Tuple[float, ...] = ()
     cached: bool = False
 
     @property
@@ -118,6 +134,8 @@ def execute_run(spec: RunSpec, _state: Optional[WsnState] = None) -> RunRecord:
         rng,
         max_rounds=spec.max_rounds,
         idle_round_limit=spec.idle_round_limit,
+        energy_model=spec.energy,
+        run_to_exhaustion=spec.run_to_exhaustion,
     )
     result = engine.run()
     return RunRecord(
@@ -125,6 +143,8 @@ def execute_run(spec: RunSpec, _state: Optional[WsnState] = None) -> RunRecord:
         metrics=result.metrics,
         rounds_executed=result.rounds_executed,
         stalled=result.stalled,
+        exhausted=result.exhausted,
+        energy_series=tuple(result.series.energy),
     )
 
 

@@ -34,11 +34,15 @@ from typing import Dict, Optional, Union
 
 from repro.experiments.orchestration import RunRecord, RunSpec
 from repro.experiments.registry import factory_identity
+from repro.network.energy import EnergyModel, EnergySummary
 from repro.sim.metrics import RunMetrics
 from repro.sim.scenario import ScenarioConfig
 
 #: Bump on any change to the stored schema or to simulation semantics.
-CACHE_FORMAT_VERSION = 1
+#: v2: energy-aware engine — specs carry an optional EnergyModel and the
+#: run-to-exhaustion flag, records carry exhausted/energy_series, metrics
+#: carry an EnergySummary, and bound-hit runs with holes now report stalled.
+CACHE_FORMAT_VERSION = 2
 
 
 # ------------------------------------------------------------- serialization
@@ -51,17 +55,22 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, object]:
         "seed": spec.seed,
         "max_rounds": spec.max_rounds,
         "idle_round_limit": spec.idle_round_limit,
+        "energy": dataclasses.asdict(spec.energy) if spec.energy is not None else None,
+        "run_to_exhaustion": spec.run_to_exhaustion,
     }
 
 
 def spec_from_dict(payload: Dict[str, object]) -> RunSpec:
     """Inverse of :func:`spec_to_dict`."""
+    energy = payload["energy"]
     return RunSpec(
         scenario=ScenarioConfig(**payload["scenario"]),
         scheme=payload["scheme"],
         seed=payload["seed"],
         max_rounds=payload["max_rounds"],
         idle_round_limit=payload["idle_round_limit"],
+        energy=EnergyModel(**energy) if energy is not None else None,
+        run_to_exhaustion=payload["run_to_exhaustion"],
     )
 
 
@@ -73,16 +82,24 @@ def record_to_dict(record: RunRecord) -> Dict[str, object]:
         "metrics": dataclasses.asdict(record.metrics),
         "rounds_executed": record.rounds_executed,
         "stalled": record.stalled,
+        "exhausted": record.exhausted,
+        "energy_series": list(record.energy_series),
     }
 
 
 def record_from_dict(payload: Dict[str, object]) -> RunRecord:
     """Inverse of :func:`record_to_dict`."""
+    metrics_payload = dict(payload["metrics"])
+    energy = metrics_payload.get("energy")
+    if energy is not None:
+        metrics_payload["energy"] = EnergySummary(**energy)
     return RunRecord(
         spec=spec_from_dict(payload["spec"]),
-        metrics=RunMetrics(**payload["metrics"]),
+        metrics=RunMetrics(**metrics_payload),
         rounds_executed=payload["rounds_executed"],
         stalled=payload["stalled"],
+        exhausted=payload["exhausted"],
+        energy_series=tuple(payload["energy_series"]),
     )
 
 

@@ -99,6 +99,18 @@ def _ar_factory(state: WsnState) -> MobilityController:
     return LocalizedReplacementController(state.grid)
 
 
+def _sr_energy_factory(state: WsnState) -> MobilityController:
+    """SR with the energy-aware (fullest battery first) spare selection."""
+    return HamiltonReplacementController(
+        build_hamilton_cycle(state.grid), spare_selection="max_energy"
+    )
+
+
+def _ar_energy_factory(state: WsnState) -> MobilityController:
+    """AR with the energy-aware (fullest battery first) spare selection."""
+    return LocalizedReplacementController(state.grid, spare_selection="max_energy")
+
+
 def _vf_factory(state: WsnState) -> MobilityController:
     return VirtualForceController()
 
@@ -109,7 +121,9 @@ def _smart_factory(state: WsnState) -> MobilityController:
 
 register_scheme("SR", _sr_factory)
 register_scheme("SR-shortcut", _sr_shortcut_factory)
+register_scheme("SR-energy", _sr_energy_factory)
 register_scheme("AR", _ar_factory)
+register_scheme("AR-energy", _ar_energy_factory)
 register_scheme("VF", _vf_factory)
 register_scheme("SMART", _smart_factory)
 

@@ -25,7 +25,12 @@ from repro.network.failures import (
     TargetedCellFailure,
     ThinningToEnabledCount,
 )
-from repro.network.energy import EnergySummary, energy_summary, recovery_energy_cost
+from repro.network.energy import (
+    EnergyModel,
+    EnergySummary,
+    energy_summary,
+    recovery_energy_cost,
+)
 from repro.network.mobility import MoveRecord, MovementModel
 from repro.network.messages import Mailbox, Message, MessageKind
 from repro.network.state import WsnState
@@ -46,6 +51,7 @@ __all__ = [
     "BatteryDepletionFailure",
     "ThinningToEnabledCount",
     "CompositeFailure",
+    "EnergyModel",
     "EnergySummary",
     "energy_summary",
     "recovery_energy_cost",

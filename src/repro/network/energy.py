@@ -1,28 +1,118 @@
-"""Energy accounting helpers (extension).
+"""Energy model and accounting.
 
-Movement dominates the energy budget of mobile sensors, which is exactly why
-the paper optimises the number of movements and the total moving distance.
-These helpers summarise the battery state of a network and translate a
-recovery run's cost metrics into consumed energy, so the examples and the
-extended benchmarks can present the comparison in joules as well as metres.
+Section 1 of the paper motivates coverage holes with nodes that "deplete
+their battery power" (jamming attacks in particular), and movement dominates
+the energy budget of mobile sensors — which is exactly why the paper
+optimises the number of movements and the total moving distance.  This module
+provides both halves of the energy story:
+
+* :class:`EnergyModel` — the physics the round-based engine applies every
+  round: a per-round idle/sensing drain for every enabled node, the node-level
+  per-move and per-message debit rates, and the depletion threshold at which
+  the engine disables a node mid-run (creating a *new* hole the controllers
+  must repair — dynamic holes emerging from the energy physics instead of a
+  hand-written failure schedule).
+* :class:`EnergySummary` / :func:`energy_summary` — an aggregate snapshot of
+  the battery state of a network, consumed by :class:`~repro.sim.metrics.RunMetrics`
+  and the lifetime experiment driver.
+* :func:`recovery_energy_cost` — translate a recovery run's cost metrics
+  (distance, messages) into joules, so scheme comparisons can be presented in
+  energy as well as metres.
+
+Consumption is accounted per node as ``initial_energy - energy``, summed over
+**all** deployed nodes — so heterogeneous battery capacities and nodes that
+were disabled mid-run (whose batteries stop draining but whose past
+consumption must not vanish) are both handled correctly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Tuple
 
 from repro.network.node import (
-    DEFAULT_BATTERY_CAPACITY,
     MESSAGE_COST,
     MOVE_COST_PER_METER,
     NodeRole,
+    NodeState,
 )
 
 
 @dataclass(frozen=True)
+class EnergyModel:
+    """Per-round energy physics applied by the round-based engine.
+
+    Attributes
+    ----------
+    idle_cost_per_round:
+        Joules every enabled node spends per round on sensing and idle
+        listening, whether or not it moves.  Zero disables the drain (the
+        paper's original workload, where only movement costs energy).
+    move_cost_per_meter:
+        Joules per metre of movement, debited from the moving node.
+    message_cost:
+        Joules per control message, debited from the sending head.
+    depletion_threshold:
+        Remaining-energy level at or below which the engine disables a node
+        (:attr:`~repro.network.node.NodeState.DEPLETED`) at the start of the
+        next round.  The vacancy this creates is an ordinary hole to the
+        controllers.
+    """
+
+    idle_cost_per_round: float = 0.0
+    move_cost_per_meter: float = MOVE_COST_PER_METER
+    message_cost: float = MESSAGE_COST
+    depletion_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "idle_cost_per_round",
+            "move_cost_per_meter",
+            "message_cost",
+            "depletion_threshold",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    def apply_round(self, state) -> List[int]:
+        """Drain the per-round idle cost and disable depleted nodes.
+
+        Every enabled node pays :attr:`idle_cost_per_round`; any enabled node
+        left at or below :attr:`depletion_threshold` afterwards (including
+        nodes drained below it by earlier movement) is disabled with reason
+        :attr:`~repro.network.node.NodeState.DEPLETED`.  Returns the ids of
+        the disabled nodes, in ascending order, so callers can log them.
+        """
+        depleted: List[int] = []
+        for node in state.enabled_nodes():
+            if self.idle_cost_per_round:
+                node.consume_energy(self.idle_cost_per_round)
+            if node.energy <= self.depletion_threshold:
+                depleted.append(node.node_id)
+        for node_id in depleted:
+            state.disable_node(node_id, reason=NodeState.DEPLETED)
+        return sorted(depleted)
+
+    def recovery_cost(self, total_distance: float, messages_sent: int = 0) -> float:
+        """:func:`recovery_energy_cost` evaluated at this model's rates."""
+        return recovery_energy_cost(
+            total_distance,
+            messages_sent,
+            move_cost_per_meter=self.move_cost_per_meter,
+            message_cost=self.message_cost,
+        )
+
+
+@dataclass(frozen=True)
 class EnergySummary:
-    """Aggregate battery statistics of the enabled nodes of a network."""
+    """Aggregate battery statistics of a network.
+
+    The per-node statistics (mean/min/max, role means) cover the *enabled*
+    nodes — the network that is still alive — while the capacity and
+    consumption totals cover **all** deployed nodes, so energy spent by nodes
+    that have since failed or depleted is never lost from the books.
+    """
 
     enabled_nodes: int
     total_energy: float
@@ -32,11 +122,8 @@ class EnergySummary:
     depleted_nodes: int
     head_mean_energy: float
     spare_mean_energy: float
-
-    @property
-    def total_consumed(self) -> float:
-        """Energy consumed so far, assuming every node started at full capacity."""
-        return self.enabled_nodes * DEFAULT_BATTERY_CAPACITY - self.total_energy
+    initial_energy_total: float = 0.0
+    total_consumed: float = 0.0
 
     @property
     def imbalance(self) -> float:
@@ -45,32 +132,49 @@ class EnergySummary:
 
 
 def energy_summary(state) -> EnergySummary:
-    """Summarise the remaining energy of all enabled nodes in ``state``."""
-    enabled = state.enabled_nodes()
-    if not enabled:
-        return EnergySummary(
-            enabled_nodes=0,
-            total_energy=0.0,
-            mean_energy=0.0,
-            min_energy=0.0,
-            max_energy=0.0,
-            depleted_nodes=0,
-            head_mean_energy=0.0,
-            spare_mean_energy=0.0,
-        )
-    energies = [node.energy for node in enabled]
-    heads = [node.energy for node in enabled if node.role is NodeRole.HEAD]
-    spares = [node.energy for node in enabled if node.role is NodeRole.SPARE]
+    """Summarise the battery state of ``state`` (see :class:`EnergySummary`)."""
+    initial_total = 0.0
+    consumed = 0.0
+    depleted = 0
+    energies: List[float] = []
+    heads: List[float] = []
+    spares: List[float] = []
+    for node in state.nodes():
+        initial_total += node.initial_energy or 0.0
+        consumed += node.consumed_energy
+        if node.state is NodeState.DEPLETED or (
+            node.is_enabled and node.is_battery_depleted
+        ):
+            depleted += 1
+        if not node.is_enabled:
+            continue
+        energies.append(node.energy)
+        if node.role is NodeRole.HEAD:
+            heads.append(node.energy)
+        elif node.role is NodeRole.SPARE:
+            spares.append(node.energy)
     return EnergySummary(
-        enabled_nodes=len(enabled),
+        enabled_nodes=len(energies),
         total_energy=sum(energies),
-        mean_energy=sum(energies) / len(energies),
-        min_energy=min(energies),
-        max_energy=max(energies),
-        depleted_nodes=sum(1 for node in enabled if node.is_battery_depleted),
+        mean_energy=sum(energies) / len(energies) if energies else 0.0,
+        min_energy=min(energies) if energies else 0.0,
+        max_energy=max(energies) if energies else 0.0,
+        depleted_nodes=depleted,
         head_mean_energy=sum(heads) / len(heads) if heads else 0.0,
         spare_mean_energy=sum(spares) / len(spares) if spares else 0.0,
+        initial_energy_total=initial_total,
+        total_consumed=consumed,
     )
+
+
+def remaining_energy(state) -> Tuple[float, int]:
+    """``(total remaining joules, count)`` over the enabled nodes of ``state``."""
+    total = 0.0
+    count = 0
+    for node in state.enabled_nodes():
+        total += node.energy
+        count += 1
+    return total, count
 
 
 def recovery_energy_cost(

@@ -103,11 +103,17 @@ class RegionJammingFailure(FailureModel):
     reason: NodeState = NodeState.FAILED
 
     def __post_init__(self) -> None:
-        disk_given = self.center is not None and self.radius is not None
-        if (self.box is None) == (not disk_given):
-            # Either both unspecified or both specified.
-            if self.box is None:
-                raise ValueError("specify either box or (center and radius)")
+        # A disk is all-or-nothing: a partial spec (center without radius or
+        # vice versa) must never silently collapse to "no disk given".
+        if (self.center is None) != (self.radius is None):
+            raise ValueError(
+                "a disk region requires both center and radius; got "
+                f"center={self.center!r}, radius={self.radius!r}"
+            )
+        disk_given = self.center is not None
+        if self.box is None and not disk_given:
+            raise ValueError("specify either box or (center and radius)")
+        if self.box is not None and disk_given:
             raise ValueError("specify only one of box or (center and radius)")
         if self.radius is not None and self.radius < 0:
             raise ValueError(f"radius must be non-negative, got {self.radius}")
@@ -155,10 +161,15 @@ class TargetedCellFailure(FailureModel):
 
 @dataclass
 class BatteryDepletionFailure(FailureModel):
-    """Disable enabled nodes whose remaining energy is at or below ``threshold``."""
+    """Disable enabled nodes whose remaining energy is at or below ``threshold``.
+
+    This is the one-shot form of the engine-driven depletion performed by
+    :class:`repro.network.energy.EnergyModel` every round; use an energy model
+    on the engine for continuous in-run depletion.
+    """
 
     threshold: float = 0.0
-    reason: NodeState = NodeState.FAILED
+    reason: NodeState = NodeState.DEPLETED
 
     def apply(self, state, rng: random.Random) -> List[int]:
         victims = [

@@ -22,7 +22,7 @@ from repro.grid.virtual_grid import (
     move_distance_bounds,
     random_point_in_box,
 )
-from repro.network.node import SensorNode
+from repro.network.node import MOVE_COST_PER_METER, SensorNode
 
 
 @dataclass(frozen=True)
@@ -47,13 +47,36 @@ class MoveRecord:
 class MovementModel:
     """Chooses target positions and executes replacement moves."""
 
-    def __init__(self, grid: VirtualGrid, target_central_area: bool = True) -> None:
+    def __init__(
+        self,
+        grid: VirtualGrid,
+        target_central_area: bool = True,
+        move_cost_per_meter: float = MOVE_COST_PER_METER,
+    ) -> None:
+        if move_cost_per_meter < 0:
+            raise ValueError(
+                f"move_cost_per_meter must be non-negative, got {move_cost_per_meter}"
+            )
         self._grid = grid
         self._target_central_area = target_central_area
+        self._move_cost_per_meter = move_cost_per_meter
 
     @property
     def grid(self) -> VirtualGrid:
         return self._grid
+
+    @property
+    def move_cost_per_meter(self) -> float:
+        """Energy debited per metre moved (joules/metre)."""
+        return self._move_cost_per_meter
+
+    def with_move_cost(self, move_cost_per_meter: float) -> "MovementModel":
+        """Copy of this model with a different move rate, other knobs kept."""
+        return MovementModel(
+            self._grid,
+            target_central_area=self._target_central_area,
+            move_cost_per_meter=move_cost_per_meter,
+        )
 
     @property
     def average_hop_distance(self) -> float:
@@ -99,7 +122,7 @@ class MovementModel:
         source_position = node.position
         if target_position is None:
             target_position = self.choose_target_position(target_cell, rng)
-        distance = node.relocate(target_position)
+        distance = node.relocate(target_position, cost_per_meter=self._move_cost_per_meter)
         return MoveRecord(
             node_id=node.node_id,
             source_cell=source_cell,

@@ -22,6 +22,7 @@ class NodeState(enum.Enum):
     ENABLED = "enabled"
     FAILED = "failed"
     MISBEHAVING = "misbehaving"
+    DEPLETED = "depleted"
 
     @property
     def is_enabled(self) -> bool:
@@ -65,6 +66,10 @@ class SensorNode:
         Head / spare role within its current cell.
     energy:
         Remaining battery energy in joules.
+    initial_energy:
+        Battery capacity the node started with (defaults to ``energy``).
+        Energy accounting sums ``initial_energy - energy`` per node, so
+        heterogeneous capacities and disabled nodes are both handled.
     moved_distance:
         Total distance moved so far, in metres.
     move_count:
@@ -76,6 +81,7 @@ class SensorNode:
     state: NodeState = NodeState.ENABLED
     role: NodeRole = NodeRole.UNASSIGNED
     energy: float = DEFAULT_BATTERY_CAPACITY
+    initial_energy: Optional[float] = None
     moved_distance: float = 0.0
     move_count: int = 0
     position_history: List[Point] = field(default_factory=list)
@@ -85,6 +91,12 @@ class SensorNode:
             raise ValueError(f"node_id must be non-negative, got {self.node_id}")
         if self.energy < 0:
             raise ValueError(f"energy must be non-negative, got {self.energy}")
+        if self.initial_energy is None:
+            self.initial_energy = self.energy
+        elif self.initial_energy < 0:
+            raise ValueError(
+                f"initial_energy must be non-negative, got {self.initial_energy}"
+            )
 
     # ------------------------------------------------------------------ state
     @property
@@ -113,21 +125,33 @@ class SensorNode:
         self.role = NodeRole.UNASSIGNED
 
     # ------------------------------------------------------------------- move
-    def relocate(self, target: Point, record_history: bool = False) -> float:
+    def relocate(
+        self,
+        target: Point,
+        record_history: bool = False,
+        cost_per_meter: float = MOVE_COST_PER_METER,
+    ) -> float:
         """Move the node to ``target`` and account for distance and energy.
 
         Returns the distance travelled.  Raises :class:`RuntimeError` when the
-        node is disabled — disabled nodes cannot take part in replacement.
+        node is disabled — disabled nodes cannot take part in replacement —
+        or when its battery is depleted: a node with an empty battery has no
+        motor power left, consistent with the engine-level depletion
+        semantics that disable such nodes outright.
         """
         if not self.is_enabled:
             raise RuntimeError(f"node {self.node_id} is disabled and cannot move")
+        if self.is_battery_depleted:
+            raise RuntimeError(
+                f"node {self.node_id} has a depleted battery and cannot move"
+            )
         distance = self.position.distance_to(target)
         if record_history:
             self.position_history.append(self.position)
         self.position = target
         self.moved_distance += distance
         self.move_count += 1
-        self.consume_energy(distance * MOVE_COST_PER_METER)
+        self.consume_energy(distance * cost_per_meter)
         return distance
 
     # ----------------------------------------------------------------- energy
@@ -141,9 +165,21 @@ class SensorNode:
     def is_battery_depleted(self) -> bool:
         return self.energy <= 0.0
 
-    def charge_message_cost(self, messages: int = 1) -> None:
+    def charge_message_cost(self, messages: int = 1, cost: float = MESSAGE_COST) -> None:
         """Account for the transmission cost of ``messages`` control messages."""
-        self.consume_energy(MESSAGE_COST * messages)
+        self.consume_energy(cost * messages)
+
+    def reset_energy(self, capacity: float) -> None:
+        """Install a fresh battery of ``capacity`` joules (scenario setup hook)."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.energy = capacity
+        self.initial_energy = capacity
+
+    @property
+    def consumed_energy(self) -> float:
+        """Energy spent since deployment (joules); clamping never goes negative."""
+        return max(0.0, (self.initial_energy or 0.0) - self.energy)
 
     # ------------------------------------------------------------------ copy
     def copy(self) -> "SensorNode":
@@ -154,6 +190,7 @@ class SensorNode:
             state=self.state,
             role=self.role,
             energy=self.energy,
+            initial_energy=self.initial_energy,
             moved_distance=self.moved_distance,
             move_count=self.move_count,
             position_history=list(self.position_history),

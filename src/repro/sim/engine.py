@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.protocol import MobilityController, RoundOutcome
+from repro.network.energy import EnergyModel, remaining_energy
 from repro.network.failures import FailureModel
 from repro.network.state import WsnState
 from repro.sim.events import EventKind, EventLog
@@ -38,9 +39,15 @@ class SimulationResult:
     metrics: RunMetrics
     rounds_executed: int
     stalled: bool
+    #: Whether the run hit ``max_rounds`` before finishing.  A bound-hit run
+    #: with holes remaining is also reported as stalled: it did not converge,
+    #: and must not be indistinguishable from a clean finish.
+    exhausted: bool = False
     round_outcomes: List[RoundOutcome] = field(default_factory=list)
     series: RoundSeries = field(default_factory=RoundSeries)
     event_log: Optional[EventLog] = None
+    #: Ids of nodes the engine disabled as battery-depleted, in depletion order.
+    depleted_nodes: List[int] = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
@@ -71,6 +78,16 @@ class RoundBasedEngine:
     idle_round_limit:
         Number of consecutive rounds without progress after which the run is
         declared stalled (holes remain but nobody can act on them).
+    energy_model:
+        Optional :class:`~repro.network.energy.EnergyModel` the engine applies
+        at the start of every round: idle drain for every enabled node, then
+        engine-driven depletion — nodes at or below the model's threshold are
+        disabled, so new holes emerge from the energy physics mid-run.
+    run_to_exhaustion:
+        With an energy model whose idle drain is positive, do not stop when
+        coverage is complete — keep draining until a hole becomes
+        unrepairable (stall), the network dies, or ``max_rounds`` hits.  This
+        is the run-until-network-death mode of the lifetime workloads.
     """
 
     def __init__(
@@ -82,6 +99,8 @@ class RoundBasedEngine:
         failure_schedule: Optional[Dict[int, FailureModel]] = None,
         event_log: Optional[EventLog] = None,
         idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT,
+        energy_model: Optional[EnergyModel] = None,
+        run_to_exhaustion: bool = False,
     ) -> None:
         if idle_round_limit < 1:
             raise ValueError(f"idle_round_limit must be >= 1, got {idle_round_limit}")
@@ -98,6 +117,19 @@ class RoundBasedEngine:
         self._last_scheduled_round = max(self.failure_schedule, default=-1)
         self.event_log = event_log
         self.idle_round_limit = idle_round_limit
+        self.energy_model = energy_model
+        self.run_to_exhaustion = run_to_exhaustion
+        self.depleted_nodes: List[int] = []
+        if energy_model is not None:
+            # Route the model's rates into the node-level debit paths: moves
+            # through the state's movement model (a reconfigured copy, so
+            # e.g. a whole-cell targeting choice survives) and messages
+            # through the controller's charge rate.
+            if energy_model.move_cost_per_meter != state.movement_model.move_cost_per_meter:
+                state.movement_model = state.movement_model.with_move_cost(
+                    energy_model.move_cost_per_meter
+                )
+            controller.message_cost = energy_model.message_cost
 
     # -------------------------------------------------------------------- run
     def run(self) -> SimulationResult:
@@ -113,25 +145,31 @@ class RoundBasedEngine:
         series = RoundSeries()
         idle_rounds = 0
         stalled = False
+        exhausted = False
         rounds_executed = 0
+        track_energy = self.energy_model is not None
 
         for round_index in range(self.max_rounds):
             self._inject_failures(round_index)
+            round_depletions = self._apply_energy(round_index)
             outcome = self.controller.execute_round(self.state, self.rng, round_index)
             outcomes.append(outcome)
             rounds_executed = round_index + 1
             self._emit_outcome(outcome)
             # hole_count and spare_count are O(1) reads of the state's
             # incremental indices, so per-round sampling stays cheap on
-            # arbitrarily large grids.
+            # arbitrarily large grids.  The energy total is an O(enabled)
+            # sweep, sampled only when an energy model is active.
             series.record(
                 holes=self.state.hole_count,
                 moves=outcome.move_count,
                 distance=outcome.total_distance,
                 spares=self.state.spare_count,
+                energy=remaining_energy(self.state)[0] if track_energy else None,
+                depletions=round_depletions if track_energy else None,
             )
 
-            if outcome.made_progress:
+            if outcome.made_progress or round_depletions:
                 idle_rounds = 0
             else:
                 idle_rounds += 1
@@ -139,8 +177,23 @@ class RoundBasedEngine:
             if self._finished(round_index):
                 break
             if idle_rounds >= self.idle_round_limit and not self._failures_pending(round_index):
-                stalled = self.state.hole_count > 0
-                break
+                if self.state.hole_count > 0:
+                    # Holes remain and nobody has acted on them for the whole
+                    # idle window: the run is stuck, in every mode.
+                    stalled = True
+                    break
+                if not self._drain_active():
+                    break
+                # Coverage is complete but batteries are still draining in
+                # run-to-exhaustion mode: keep going until depletion opens the
+                # next hole (or the round bound hits).
+        else:
+            exhausted = True
+
+        if exhausted and self.state.hole_count > 0:
+            # The round bound hit with holes remaining: the run did not
+            # converge and must not look like a clean finish.
+            stalled = True
 
         final_round = rounds_executed
         finalize = getattr(self.controller, "finalize", None)
@@ -161,12 +214,45 @@ class RoundBasedEngine:
             metrics=metrics,
             rounds_executed=rounds_executed,
             stalled=stalled,
+            exhausted=exhausted,
             round_outcomes=outcomes,
             series=series,
             event_log=self.event_log,
+            depleted_nodes=list(self.depleted_nodes),
         )
 
     # --------------------------------------------------------------- internal
+    def _apply_energy(self, round_index: int) -> int:
+        """Apply the energy model for one round; returns how many nodes depleted."""
+        if self.energy_model is None:
+            return 0
+        victims = self.energy_model.apply_round(self.state)
+        if not victims:
+            return 0
+        self.depleted_nodes.extend(victims)
+        for node_id in victims:
+            self._emit(
+                EventKind.NODE_DISABLED,
+                round_index=round_index,
+                node_id=node_id,
+                cause="battery-depleted",
+            )
+        self._emit(
+            EventKind.HOLE_DETECTED,
+            round_index=round_index,
+            holes=self.state.hole_count,
+        )
+        return len(victims)
+
+    def _drain_active(self) -> bool:
+        """Whether run-to-exhaustion still has energy physics to play out."""
+        return (
+            self.run_to_exhaustion
+            and self.energy_model is not None
+            and self.energy_model.idle_cost_per_round > 0
+            and self.state.enabled_count > 0
+        )
+
     def _inject_failures(self, round_index: int) -> None:
         model = self.failure_schedule.get(round_index)
         if model is None:
@@ -188,6 +274,10 @@ class RoundBasedEngine:
         if self.state.hole_count > 0:
             return False
         if self._failures_pending(round_index):
+            return False
+        if self._drain_active():
+            # Lifetime mode: complete coverage is not the end — batteries keep
+            # draining until depletion opens a hole nobody can repair.
             return False
         return self.controller.is_quiescent(self.state)
 
@@ -240,6 +330,8 @@ def run_recovery(
     max_rounds: Optional[int] = None,
     failure_schedule: Optional[Dict[int, FailureModel]] = None,
     event_log: Optional[EventLog] = None,
+    energy_model: Optional[EnergyModel] = None,
+    run_to_exhaustion: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RoundBasedEngine` and run it."""
     engine = RoundBasedEngine(
@@ -249,5 +341,7 @@ def run_recovery(
         max_rounds=max_rounds,
         failure_schedule=failure_schedule,
         event_log=event_log,
+        energy_model=energy_model,
+        run_to_exhaustion=run_to_exhaustion,
     )
     return engine.run()

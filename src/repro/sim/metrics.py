@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.protocol import MobilityController
+from repro.network.energy import EnergySummary, energy_summary
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,7 @@ class RunMetrics:
     initial_enabled: int
     cell_coverage_before: float
     cell_coverage_after: float
+    energy: Optional[EnergySummary] = None
 
     @property
     def repaired_holes(self) -> int:
@@ -78,6 +80,8 @@ class RunMetrics:
             "initial_enabled": self.initial_enabled,
             "cell_coverage_before": self.cell_coverage_before,
             "cell_coverage_after": self.cell_coverage_after,
+            "energy_consumed": self.energy.total_consumed if self.energy else None,
+            "depleted_nodes": self.energy.depleted_nodes if self.energy else None,
         }
 
 
@@ -113,11 +117,18 @@ def collect_metrics(
     initial: InitialSnapshot,
     rounds: int,
     messages_sent: int,
+    energy: Optional[EnergySummary] = None,
 ) -> RunMetrics:
-    """Combine controller bookkeeping and final state into a :class:`RunMetrics`."""
+    """Combine controller bookkeeping and final state into a :class:`RunMetrics`.
+
+    ``energy`` defaults to a fresh :func:`~repro.network.energy.energy_summary`
+    of the final state, so every run record carries its battery snapshot.
+    """
     total_cells = state.grid.cell_count
     final_holes = state.hole_count
     redundant = getattr(controller, "redundant_processes", 0)
+    if energy is None:
+        energy = energy_summary(state)
     return RunMetrics(
         scheme=controller.name,
         rounds=rounds,
@@ -138,6 +149,7 @@ def collect_metrics(
         cell_coverage_after=(total_cells - final_holes) / total_cells
         if total_cells
         else 1.0,
+        energy=energy,
     )
 
 
@@ -155,15 +167,30 @@ class RoundSeries:
     moves: List[int] = field(default_factory=list)
     distance: List[float] = field(default_factory=list)
     spares: List[int] = field(default_factory=list)
+    #: Total remaining energy of the enabled nodes at the end of each round
+    #: (recorded only when the engine runs with an energy model).
+    energy: List[float] = field(default_factory=list)
+    #: Number of nodes the engine disabled as battery-depleted in each round.
+    depletions: List[int] = field(default_factory=list)
 
     def record(
-        self, holes: int, moves: int, distance: float, spares: Optional[int] = None
+        self,
+        holes: int,
+        moves: int,
+        distance: float,
+        spares: Optional[int] = None,
+        energy: Optional[float] = None,
+        depletions: Optional[int] = None,
     ) -> None:
         self.holes.append(holes)
         self.moves.append(moves)
         self.distance.append(distance)
         if spares is not None:
             self.spares.append(spares)
+        if energy is not None:
+            self.energy.append(energy)
+        if depletions is not None:
+            self.depletions.append(depletions)
 
     @property
     def rounds(self) -> int:

@@ -56,6 +56,16 @@ class ScenarioConfig:
     seed:
         Master seed; deployment, thinning, and controller randomness use
         independent streams derived from it.
+    initial_energy:
+        Battery capacity installed in every deployed node (joules).  ``None``
+        keeps the node default
+        (:data:`~repro.network.node.DEFAULT_BATTERY_CAPACITY`).
+    initial_energy_jitter:
+        Fraction in ``[0, 1)`` by which individual batteries fall below
+        ``initial_energy`` (independent uniform draws from the scenario's
+        ``"energy"`` stream).  Heterogeneous capacities stagger depletion,
+        which is what makes lifetime workloads produce holes gradually
+        instead of in one synchronized wave.
     head_policy:
         Name of the head-election policy (see :data:`HEAD_POLICIES`).
     deployment:
@@ -69,6 +79,8 @@ class ScenarioConfig:
     deployed_count: int = 5000
     spare_surplus: Optional[int] = None
     seed: int = 0
+    initial_energy: Optional[float] = None
+    initial_energy_jitter: float = 0.0
     head_policy: str = "lowest_id"
     deployment: str = "uniform"
 
@@ -81,6 +93,12 @@ class ScenarioConfig:
             raise ValueError("deployed_count must be non-negative")
         if self.spare_surplus is not None and self.spare_surplus < 0:
             raise ValueError("spare_surplus must be non-negative when given")
+        if self.initial_energy is not None and self.initial_energy <= 0:
+            raise ValueError("initial_energy must be positive when given")
+        if not 0.0 <= self.initial_energy_jitter < 1.0:
+            raise ValueError(
+                f"initial_energy_jitter must be in [0, 1), got {self.initial_energy_jitter}"
+            )
         if self.head_policy not in HEAD_POLICIES:
             raise ValueError(
                 f"unknown head_policy {self.head_policy!r}; choose one of "
@@ -142,4 +160,11 @@ def build_scenario_state(config: ScenarioConfig) -> WsnState:
     if config.target_enabled is not None:
         thinning = ThinningToEnabledCount(target_enabled=config.target_enabled)
         thinning.apply(state, derive_rng(config.seed, "thinning"))
+    if config.initial_energy is not None:
+        energy_rng = derive_rng(config.seed, "energy")
+        for node in state.nodes():
+            capacity = config.initial_energy
+            if config.initial_energy_jitter:
+                capacity *= 1.0 - config.initial_energy_jitter * energy_rng.random()
+            node.reset_energy(capacity)
     return state

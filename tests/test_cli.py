@@ -14,8 +14,14 @@ class TestParser:
         parser = build_parser()
         assert parser.parse_args(["figures", "fig3"]).command == "figures"
         assert parser.parse_args(["compare"]).command == "compare"
+        assert parser.parse_args(["lifetime"]).command == "lifetime"
+        assert parser.parse_args(["lifetime", "--smoke"]).smoke
         assert parser.parse_args(["analyze", "--spares", "5"]).command == "analyze"
         assert parser.parse_args(["layout"]).command == "layout"
+
+    def test_lifetime_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lifetime", "--schemes", "BOGUS"])
 
     def test_compare_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
@@ -79,6 +85,22 @@ class TestCompareCommand:
         assert "SR" in output and "AR" in output
         assert "holes_left" in output
 
+    def test_energy_schemes_available(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--columns", "6",
+                "--rows", "6",
+                "--deployed", "150",
+                "--spare-surplus", "10",
+                "--seed", "4",
+                "--schemes", "SR-energy", "AR-energy",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SR-energy" in output and "AR-energy" in output
+
     def test_shortcut_scheme_available(self, capsys):
         code = main(
             [
@@ -93,3 +115,48 @@ class TestCompareCommand:
         )
         assert code == 0
         assert "SR-shortcut" in capsys.readouterr().out
+
+
+class TestLifetimeCommand:
+    def test_small_lifetime_run(self, capsys, tmp_path):
+        args = [
+            "lifetime",
+            "--columns", "6",
+            "--rows", "6",
+            "--nodes", "144",
+            "--spare-surplus", "20",
+            "--seed", "7",
+            "--initial-energy", "30",
+            "--idle-cost", "0.5",
+            "--max-rounds", "400",
+            "--schemes", "SR", "AR",
+            "--csv-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "lifetime comparison" in output
+        assert "longest-lived scheme" in output
+        assert (tmp_path / "lifetime_comparison.csv").exists()
+
+    def test_invalid_physics_is_a_clean_error(self, capsys):
+        assert main(["lifetime", "--idle-cost", "0"]) == 2
+        assert "idle_cost_per_round" in capsys.readouterr().err
+
+    def test_serial_and_parallel_output_identical(self, capsys):
+        args = [
+            "lifetime",
+            "--columns", "6",
+            "--rows", "6",
+            "--nodes", "144",
+            "--spare-surplus", "20",
+            "--seed", "7",
+            "--initial-energy", "30",
+            "--idle-cost", "0.5",
+            "--max-rounds", "400",
+            "--schemes", "SR", "AR",
+        ]
+        assert main(args) == 0
+        serial_output = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert serial_output == parallel_output

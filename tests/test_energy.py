@@ -1,4 +1,4 @@
-"""Unit tests for the energy accounting helpers."""
+"""Unit tests for the energy model and the accounting helpers."""
 
 import pytest
 
@@ -6,12 +6,19 @@ from repro.core.hamilton import build_hamilton_cycle
 from repro.core.replacement import HamiltonReplacementController
 from repro.grid.virtual_grid import GridCoord
 from repro.network.energy import (
+    EnergyModel,
     EnergySummary,
     energy_summary,
     per_scheme_energy_costs,
     recovery_energy_cost,
+    remaining_energy,
 )
-from repro.network.node import DEFAULT_BATTERY_CAPACITY, MESSAGE_COST, MOVE_COST_PER_METER
+from repro.network.node import (
+    DEFAULT_BATTERY_CAPACITY,
+    MESSAGE_COST,
+    MOVE_COST_PER_METER,
+    NodeState,
+)
 from repro.sim.engine import run_recovery
 
 from helpers import make_hole
@@ -47,6 +54,74 @@ class TestEnergySummary:
             result.metrics.total_distance, result.metrics.messages_sent
         )
         assert summary.total_consumed == pytest.approx(expected, rel=1e-6)
+
+    def test_consumption_tracks_custom_initial_capacities(self, dense_state):
+        # Regression: total_consumed used to assume every node started at the
+        # default capacity, so custom batteries broke the accounting.
+        for node in dense_state.nodes():
+            node.reset_energy(10.0)
+        first = next(iter(dense_state.enabled_nodes()))
+        first.consume_energy(4.0)
+        summary = energy_summary(dense_state)
+        assert summary.total_consumed == pytest.approx(4.0)
+        assert summary.initial_energy_total == pytest.approx(
+            10.0 * dense_state.node_count
+        )
+
+    def test_disabled_nodes_consumption_is_not_lost(self, dense_state):
+        # Regression: consumption by nodes that were later disabled used to
+        # silently vanish from total_consumed.
+        node = next(iter(dense_state.enabled_nodes()))
+        node.consume_energy(25.0)
+        dense_state.disable_node(node.node_id)
+        summary = energy_summary(dense_state)
+        assert summary.total_consumed == pytest.approx(25.0)
+
+    def test_depleted_count_covers_engine_disabled_nodes(self, dense_state):
+        alive = dense_state.enabled_nodes()
+        drained, disabled = alive[0], alive[1]
+        drained.consume_energy(drained.energy)  # enabled, at zero
+        disabled.consume_energy(disabled.energy)
+        dense_state.disable_node(disabled.node_id, reason=NodeState.DEPLETED)
+        summary = energy_summary(dense_state)
+        assert summary.depleted_nodes == 2
+
+
+class TestEnergyModel:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            EnergyModel(idle_cost_per_round=-0.1)
+        with pytest.raises(ValueError):
+            EnergyModel(depletion_threshold=-1.0)
+
+    def test_apply_round_drains_and_depletes(self, dense_state):
+        model = EnergyModel(idle_cost_per_round=1.0, depletion_threshold=0.0)
+        victim = next(iter(dense_state.enabled_nodes()))
+        victim.reset_energy(0.5)
+        before, count_before = remaining_energy(dense_state)
+        depleted = model.apply_round(dense_state)
+        assert depleted == [victim.node_id]
+        assert dense_state.node(victim.node_id).state is NodeState.DEPLETED
+        after, count_after = remaining_energy(dense_state)
+        assert count_after == count_before - 1
+        # Every surviving node paid exactly one round of idle drain.
+        assert after == pytest.approx(before - 0.5 - count_after * 1.0)
+
+    def test_threshold_depletion_keeps_residual_energy(self, dense_state):
+        model = EnergyModel(idle_cost_per_round=0.0, depletion_threshold=5.0)
+        victim = next(iter(dense_state.enabled_nodes()))
+        victim.reset_energy(4.0)
+        depleted = model.apply_round(dense_state)
+        assert depleted == [victim.node_id]
+        assert dense_state.node(victim.node_id).energy == pytest.approx(4.0)
+
+    def test_no_depletion_when_everyone_is_charged(self, dense_state):
+        model = EnergyModel(idle_cost_per_round=0.1)
+        assert model.apply_round(dense_state) == []
+
+    def test_recovery_cost_uses_model_rates(self):
+        model = EnergyModel(move_cost_per_meter=2.0, message_cost=0.5)
+        assert model.recovery_cost(10.0, messages_sent=4) == pytest.approx(22.0)
 
 
 class TestCostModel:

@@ -58,6 +58,28 @@ class TestTermination:
         result = engine.run()
         assert result.rounds_executed <= 3
 
+    def test_bound_hit_with_holes_left_reports_stalled_and_exhausted(
+        self, sparse_state, rng
+    ):
+        # Regression: a run that exhausts max_rounds with holes remaining used
+        # to return stalled=False, indistinguishable from a clean finish.
+        make_hole(sparse_state, GridCoord(2, 2))
+        engine = RoundBasedEngine(
+            sparse_state, sr_controller(sparse_state), rng, max_rounds=2
+        )
+        result = engine.run()
+        assert result.metrics.final_holes > 0
+        assert result.exhausted
+        assert result.stalled
+        assert not result.converged
+
+    def test_converged_run_is_neither_stalled_nor_exhausted(self, dense_state, rng):
+        make_hole(dense_state, GridCoord(1, 1))
+        result = run_recovery(dense_state, sr_controller(dense_state), rng)
+        assert result.converged
+        assert not result.stalled
+        assert not result.exhausted
+
     def test_invalid_parameters(self, dense_state, rng):
         with pytest.raises(ValueError):
             RoundBasedEngine(dense_state, NullController(), rng, max_rounds=0)

@@ -95,6 +95,18 @@ class TestRegionJamming:
         with pytest.raises(ValueError):
             RegionJammingFailure(center=Point(0, 0), radius=-1)
 
+    def test_rejects_partial_disk_specs(self):
+        # Regression: a partial disk used to collapse to "no disk given", so
+        # box + center (without radius) was silently accepted.
+        with pytest.raises(ValueError):
+            RegionJammingFailure(center=Point(0, 0))
+        with pytest.raises(ValueError):
+            RegionJammingFailure(radius=2.0)
+        with pytest.raises(ValueError):
+            RegionJammingFailure(box=BoundingBox(0, 0, 1, 1), center=Point(0, 0))
+        with pytest.raises(ValueError):
+            RegionJammingFailure(box=BoundingBox(0, 0, 1, 1), radius=2.0)
+
     def test_box_jamming_disables_only_inside(self, state, rng):
         box = BoundingBox(0, 0, 2, 2)
         victims = RegionJammingFailure(box=box).apply(state, rng)

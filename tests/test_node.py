@@ -92,6 +92,21 @@ class TestMovement:
         with pytest.raises(RuntimeError):
             node.relocate(Point(1, 1))
 
+    def test_depleted_node_cannot_move(self):
+        # Regression: a node clamped to an empty battery used to keep moving
+        # forever; depletion must refuse relocation like a disabled node does.
+        node = make_node()
+        node.consume_energy(node.energy)
+        assert node.is_battery_depleted
+        with pytest.raises(RuntimeError):
+            node.relocate(Point(1, 1))
+        assert node.move_count == 0
+
+    def test_relocate_honours_custom_move_cost(self):
+        node = make_node()
+        node.relocate(Point(0, 10), cost_per_meter=2.5)
+        assert node.energy == pytest.approx(DEFAULT_BATTERY_CAPACITY - 25.0)
+
     def test_position_history_optional(self):
         node = make_node()
         node.relocate(Point(1, 1))
@@ -115,6 +130,30 @@ class TestEnergy:
         node = make_node()
         node.charge_message_cost(3)
         assert node.energy == pytest.approx(DEFAULT_BATTERY_CAPACITY - 3 * MESSAGE_COST)
+
+    def test_initial_energy_defaults_to_starting_energy(self):
+        node = make_node()
+        assert node.initial_energy == pytest.approx(DEFAULT_BATTERY_CAPACITY)
+        node.consume_energy(7.0)
+        assert node.consumed_energy == pytest.approx(7.0)
+
+    def test_reset_energy_installs_fresh_battery(self):
+        node = make_node()
+        node.consume_energy(30.0)
+        node.reset_energy(12.0)
+        assert node.energy == pytest.approx(12.0)
+        assert node.initial_energy == pytest.approx(12.0)
+        assert node.consumed_energy == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            node.reset_energy(-1.0)
+
+    def test_copy_preserves_initial_energy(self):
+        node = make_node()
+        node.reset_energy(42.0)
+        node.consume_energy(2.0)
+        twin = node.copy()
+        assert twin.initial_energy == pytest.approx(42.0)
+        assert twin.consumed_energy == pytest.approx(2.0)
 
 
 class TestHelpers:
