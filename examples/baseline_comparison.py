@@ -3,75 +3,47 @@
 
 The paper evaluates SR only against AR, but its introduction argues that
 virtual-force methods converge slowly and that grid balancing (SMART) moves
-far more nodes than necessary.  Because this library implements all four
-schemes behind the same controller interface, one small script can put the
-claims side by side on an identical scenario.
+far more nodes than necessary.  This example builds a declarative
+:class:`repro.Scenario` in code that runs *every* registered scheme on one
+identical deployment — the same document could be saved as TOML with
+:func:`repro.dump_scenario` and run via ``python -m repro scenario run
+<file>``; the script prints the document first to show the equivalence.
 
 Run with ``python examples/baseline_comparison.py``.
 """
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, build_scenario_state, derive_rng
-from repro.experiments.plotting import format_table
-from repro.experiments.registry import available_schemes, make_controller
-from repro.sim.engine import run_recovery
+from repro import Scenario, ScenarioConfig
+from repro.experiments.registry import available_schemes
+from repro.experiments.scenario_files import dumps_scenario, tabulate_records
+
+
+def build_scenario() -> Scenario:
+    """An all-schemes comparison on a 12x12 deployment with a generous N."""
+    return Scenario(
+        name="baseline-comparison",
+        description="every registered scheme on one identical 12x12 deployment",
+        scenario=ScenarioConfig(
+            columns=12,
+            rows=12,
+            communication_range=10.0,
+            deployed_count=900,
+            spare_surplus=80,
+            seed=11,
+        ),
+        schemes=available_schemes(),
+        max_rounds=400,
+    )
 
 
 def main() -> None:
-    config = ScenarioConfig(
-        columns=12,
-        rows=12,
-        communication_range=10.0,
-        deployed_count=900,
-        spare_surplus=80,
-        seed=11,
-    )
-    base_state = build_scenario_state(config)
-    print(
-        f"scenario: {config.columns}x{config.rows} grid, "
-        f"{base_state.enabled_count} enabled nodes, "
-        f"{base_state.hole_count} holes, {base_state.spare_count} spares"
-    )
-    print()
-
-    rows = []
-    for scheme in available_schemes():
-        state = base_state.clone()
-        controller = make_controller(scheme, state)
-        result = run_recovery(
-            state,
-            controller,
-            derive_rng(config.seed, f"{scheme}-controller"),
-            max_rounds=400,
-        )
-        metrics = result.metrics
-        rows.append(
-            [
-                scheme,
-                metrics.rounds,
-                metrics.processes_initiated,
-                f"{metrics.success_rate:.0%}",
-                metrics.total_moves,
-                round(metrics.total_distance, 1),
-                metrics.final_holes,
-            ]
-        )
-
-    print(
-        format_table(
-            [
-                "scheme",
-                "rounds",
-                "processes",
-                "success",
-                "moves",
-                "distance_m",
-                "holes_left",
-            ],
-            rows,
-        )
-    )
+    """Run every registered scheme on the shared scenario and tabulate costs."""
+    scenario = build_scenario()
+    print("# The declarative document this comparison executes:")
+    print(dumps_scenario(scenario))
+    records = scenario.execute()
+    print(tabulate_records(scenario, records).format(float_digits=1))
     print()
     print(
         "Expected reading (matches the paper's qualitative claims):\n"

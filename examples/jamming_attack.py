@@ -1,109 +1,48 @@
 #!/usr/bin/env python3
 """Scenario: a jamming attack blows a region-sized hole into the coverage.
 
-Section 1 of the paper motivates the hole problem with attacks that deplete
-node density in certain areas (jamming).  This example deploys a healthy
-16x12 network, lets an attacker jam a disk in the middle of the surveillance
-area, and then compares how the SR scheme and the AR baseline restore
-coverage — including a second, dynamic attack injected while the first
-recovery is still running.
+This used to be ~100 lines of hand-wired setup; it is now a thin wrapper
+over the ``region-jamming`` entry of the shipped scenario catalog — the
+whole workload (deployment, the two jamming disks, schemes, round bounds)
+lives in a declarative TOML document.  The same experiment runs from the
+command line with ``python -m repro scenario run region-jamming``, and
+``python -m repro scenario show region-jamming`` prints the document.
 
 Run with ``python examples/jamming_attack.py``.
 """
 
 from __future__ import annotations
 
-from repro import (
-    HamiltonReplacementController,
-    LocalizedReplacementController,
-    Point,
-    RegionJammingFailure,
-    ScenarioConfig,
-    build_hamilton_cycle,
-    build_scenario_state,
-    derive_rng,
-    is_head_network_connected,
-)
-from repro.sim.engine import RoundBasedEngine
-from repro.sim.events import EventKind, EventLog
+from repro import build_scenario_state, derive_rng, load_catalog_scenario
+from repro.experiments.scenario_files import tabulate_records
 from repro.viz.ascii_grid import render_occupancy
 
 
-def build_network(seed: int):
-    """A 16x12 grid with a comfortable spare surplus before the attack."""
-    config = ScenarioConfig(
-        columns=16,
-        rows=12,
-        communication_range=10.0,
-        deployed_count=1200,
-        spare_surplus=160,
-        seed=seed,
-    )
-    return config, build_scenario_state(config)
+def main() -> None:
+    """Run the catalog's region-jamming workload and show the damage it repairs."""
+    scenario = load_catalog_scenario("region-jamming")
+    print(f"--- {scenario.name} ---")
+    print(scenario.description)
+    print()
 
-
-def jammed_disk(state) -> RegionJammingFailure:
-    """A jammer parked in the middle of the surveillance area."""
-    bounds = state.grid.bounds
-    center = Point(bounds.center.x, bounds.center.y)
-    return RegionJammingFailure(center=center, radius=2.5 * state.grid.cell_size)
-
-
-def run_scheme(name: str, seed: int) -> None:
-    config, state = build_network(seed)
-    print(f"--- {name} ---")
+    # Show what the first attack does to the network before any recovery:
+    # build the deployment and apply the round-0 events by hand.
+    state = build_scenario_state(scenario.scenario)
     print(f"pre-attack holes: {state.hole_count}, spares: {state.spare_count}")
-
-    # First attack happens before the controller starts; the second one is
-    # scheduled mid-recovery to exercise the dynamic-hole behaviour.
-    jammed_disk(state).apply(state, derive_rng(seed, "attack-1"))
-    print(f"holes after jamming attack: {state.hole_count}")
-    print(render_occupancy(state))
-
-    if name == "SR":
-        controller = HamiltonReplacementController(build_hamilton_cycle(state.grid))
-    else:
-        controller = LocalizedReplacementController(state.grid)
-
-    second_wave = RegionJammingFailure(
-        center=Point(state.grid.cell_size * 2.0, state.grid.cell_size * 2.0),
-        radius=1.5 * state.grid.cell_size,
-    )
-    log = EventLog()
-    engine = RoundBasedEngine(
-        state,
-        controller,
-        derive_rng(seed, f"{name}-controller"),
-        failure_schedule={5: second_wave},
-        event_log=log,
-    )
-    result = engine.run()
-    metrics = result.metrics
-
-    print(f"rounds                : {metrics.rounds}")
-    print(f"processes initiated   : {metrics.processes_initiated}")
-    print(f"success rate          : {metrics.success_rate:.1%}")
-    print(f"total movements       : {metrics.total_moves}")
-    print(f"total moving distance : {metrics.total_distance:.1f} m")
-    print(f"holes remaining       : {metrics.final_holes}")
-    print(f"head overlay connected: {is_head_network_connected(state)}")
-    print(f"trace events recorded : {len(log)} "
-          f"(moves: {log.count(EventKind.NODE_MOVED)}, "
-          f"failures injected: {log.count(EventKind.NODE_DISABLED)})")
+    rng = derive_rng(scenario.scenario.seed, "preview")
+    for event in scenario.failures:
+        if event.round == 0:
+            event.build().apply(state, rng)
+    print(f"holes after the first jamming attack: {state.hole_count}")
     print(render_occupancy(state))
     print()
 
-
-def main() -> None:
-    seed = 2024
-    for scheme in ("SR", "AR"):
-        run_scheme(scheme, seed)
-    print(
-        "SR repairs the jammed region with one replacement process per hole and\n"
-        "restores complete coverage; AR floods the same holes with redundant\n"
-        "processes and can leave cells uncovered when its localized cascades\n"
-        "dead-end inside the jammed area."
-    )
+    # The experiment itself is one call; the second attack is injected by
+    # the engine mid-recovery, exactly as the scenario file schedules it.
+    records = scenario.execute()
+    print(tabulate_records(scenario, records).format())
+    print()
+    print(scenario.expected)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,9 @@ Quick tour of the public API
 * :class:`repro.ScenarioConfig` / :func:`repro.build_scenario_state` — the
   paper's experimental workload (uniform deployment, thinning to ``N + m*n``
   enabled nodes).
+* :class:`repro.Scenario` / :func:`repro.load_scenario` — declarative
+  scenario files (TOML/JSON documents compiling into cached run specs) and
+  the curated catalog under :mod:`repro.experiments.catalog`.
 * :mod:`repro.core.analysis` — Theorem 2 / Corollary 2 analytical model.
 * :mod:`repro.experiments` — drivers that regenerate every figure of the
   paper's evaluation.
@@ -41,11 +44,14 @@ from repro.network.radio import UnitDiskRadio
 from repro.network.state import WsnState
 from repro.network.deployment import deploy_per_cell, deploy_uniform
 from repro.network.failures import (
+    FailureEvent,
     RandomFailure,
     RegionJammingFailure,
     TargetedCellFailure,
     ThinningToEnabledCount,
 )
+from repro.experiments.catalog import load_catalog_scenario
+from repro.experiments.scenario_files import Scenario, dump_scenario, load_scenario
 from repro.core.hamilton import (
     DualPathHamiltonCycle,
     HamiltonCycle,
@@ -82,10 +88,15 @@ __all__ = [
     "WsnState",
     "deploy_uniform",
     "deploy_per_cell",
+    "FailureEvent",
     "RandomFailure",
     "RegionJammingFailure",
     "TargetedCellFailure",
     "ThinningToEnabledCount",
+    "Scenario",
+    "load_scenario",
+    "dump_scenario",
+    "load_catalog_scenario",
     "HamiltonCycle",
     "SerpentineHamiltonCycle",
     "DualPathHamiltonCycle",

@@ -45,6 +45,7 @@ class SmartScanController(MobilityController):
     def execute_round(
         self, state: WsnState, rng: random.Random, round_index: int
     ) -> RoundOutcome:
+        """Run one balancing round: advance the row phase, then the column phase."""
         outcome = RoundOutcome(round_index=round_index)
         self._open_processes(state, round_index, outcome)
 
@@ -74,6 +75,7 @@ class SmartScanController(MobilityController):
         return outcome
 
     def is_quiescent(self, state: WsnState) -> bool:
+        """Whether both balancing phases finished and no process is active."""
         return self._phase == "done" and super().is_quiescent(state)
 
     # ------------------------------------------------------------------ plans
@@ -162,6 +164,7 @@ class SmartScanController(MobilityController):
                 del self._hole_process[hole]
 
     def finalize(self, state: WsnState, round_index: int) -> None:
+        """Mark any still-active processes as failed at the end of the run."""
         for process in self._processes.values():
             if process.is_active:
                 process.mark_failed(round_index)
@@ -171,10 +174,12 @@ class SmartScanController(MobilityController):
     # metrics must count every transfer, not only the ones that end in a hole.
     @property
     def total_moves(self) -> int:
+        """Total number of node transfers performed (every balancing move counts)."""
         return len(self._all_moves)
 
     @property
     def total_distance(self) -> float:
+        """Total distance (metres) moved across all balancing transfers."""
         return sum(record.distance for record in self._all_moves)
 
     def movement_records(self) -> List:

@@ -83,6 +83,7 @@ class VirtualForceController(MobilityController):
     def execute_round(
         self, state: WsnState, rng: random.Random, round_index: int
     ) -> RoundOutcome:
+        """Run one force round: every spare moves one step along its net virtual force."""
         outcome = RoundOutcome(round_index=round_index)
         repulsion_range, attraction_range, max_step = self._parameters_for(state)
 
@@ -220,6 +221,7 @@ class VirtualForceController(MobilityController):
                 del self._hole_process[hole]
 
     def finalize(self, state: WsnState, round_index: int) -> None:
+        """Mark any still-active processes as failed at the end of the run."""
         for process in self._processes.values():
             if process.is_active:
                 process.mark_failed(round_index)
@@ -227,10 +229,12 @@ class VirtualForceController(MobilityController):
     # ------------------------------------------------------------- accounting
     @property
     def total_moves(self) -> int:
+        """Total number of force-step movements performed."""
         return len(self._moves)
 
     @property
     def total_distance(self) -> float:
+        """Total distance (metres) moved across all force steps."""
         return sum(record.distance for record in self._moves)
 
     def movement_records(self) -> List[MoveRecord]:

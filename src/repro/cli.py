@@ -10,6 +10,10 @@ library without writing any code:
 * ``lifetime`` — run schemes to network death under the energy model and
   report how many rounds each kept the area covered (``--smoke`` runs the CI
   determinism/physics gate instead);
+* ``scenario`` — work with declarative scenario files and the curated
+  catalog: ``list`` the shipped scenarios, ``show`` a document, ``run`` or
+  ``sweep`` one (by catalog name or file path), and generate the
+  ``SCENARIOS.md`` catalog reference with ``docs``;
 * ``analyze`` — evaluate the Theorem-2 analytical model for a given spare
   count and Hamilton-path length;
 * ``layout`` — print the Hamilton cycle or dual-path construction of a grid.
@@ -22,6 +26,7 @@ programmatically.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -45,6 +50,11 @@ from repro.experiments.lifetime import (
     run_lifetime_experiment,
     run_lifetime_smoke,
 )
+from repro.experiments.catalog import (
+    catalog_names,
+    render_catalog_docs,
+    resolve_scenario,
+)
 from repro.experiments.orchestration import (
     RunExecutor,
     RunSpec,
@@ -52,6 +62,12 @@ from repro.experiments.orchestration import (
     make_executor,
 )
 from repro.experiments.persistence import RunCache
+from repro.experiments.scenario_files import (
+    Scenario,
+    ScenarioValidationError,
+    dumps_scenario,
+    tabulate_records,
+)
 from repro.experiments.plotting import ascii_chart
 from repro.experiments.registry import available_schemes
 from repro.experiments.results import ExperimentResult
@@ -64,6 +80,7 @@ ALL_FIGURES = ("fig1", "fig3", "fig4", "fig5") + EXPERIMENTAL_FIGURES
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -206,6 +223,83 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the configured experiment",
     )
     _add_execution_arguments(lifetime)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="work with declarative scenario files and the curated catalog",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="list the shipped catalog scenarios")
+
+    show = scenario_sub.add_parser(
+        "show", help="print a scenario document (catalog name or file path)"
+    )
+    show.add_argument("ref", help="catalog scenario name or path to a .toml/.json file")
+    show.add_argument(
+        "--format", choices=("toml", "json"), default="toml", help="output format"
+    )
+
+    run = scenario_sub.add_parser(
+        "run", help="execute a scenario (catalog name or file path)"
+    )
+    run.add_argument("ref", help="catalog scenario name or path to a .toml/.json file")
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the bounded CI variant (one trial, capped rounds) instead of "
+        "the full scenario",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's master seed"
+    )
+    run.add_argument(
+        "--trials", type=int, default=None, help="override the scenario's trial count"
+    )
+    run.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
+    )
+    _add_execution_arguments(run)
+
+    sweep = scenario_sub.add_parser(
+        "sweep",
+        help="run a scenario across several spare-surplus values (the paper's N)",
+    )
+    sweep.add_argument("ref", help="catalog scenario name or path to a .toml/.json file")
+    sweep.add_argument(
+        "--spares",
+        type=int,
+        nargs="+",
+        required=True,
+        help="spare-surplus values N to sweep over",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's master seed"
+    )
+    sweep.add_argument(
+        "--trials", type=int, default=None, help="override the scenario's trial count"
+    )
+    sweep.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
+    )
+    _add_execution_arguments(sweep)
+
+    docs = scenario_sub.add_parser(
+        "docs", help="render the generated SCENARIOS.md catalog reference"
+    )
+    docs.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the rendering here instead of stdout",
+    )
+    docs.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="compare the rendering against this file and fail on any drift "
+        "(the CI docs-sync gate)",
+    )
 
     analyze = subparsers.add_parser(
         "analyze", help="evaluate the Theorem-2 analytical model"
@@ -453,6 +547,179 @@ def _lifetime_command(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ScenarioCliError(Exception):
+    """A scenario reference the CLI should report cleanly (exit 2, no traceback)."""
+
+
+def _resolve_cli_scenario(args: argparse.Namespace) -> Scenario:
+    """Resolve the scenario reference and apply the shared CLI overrides.
+
+    Reference problems (unknown catalog name, missing file, un-inferable
+    format) are converted to :class:`_ScenarioCliError` here, at the lookup
+    site, so the top-level handler never has to catch broad exception types
+    that could mask real bugs inside the subcommands.
+    """
+    try:
+        scenario = resolve_scenario(args.ref)
+    except ScenarioValidationError:
+        raise
+    except (KeyError, FileNotFoundError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise _ScenarioCliError(message) from error
+    if getattr(args, "seed", None) is not None:
+        scenario = scenario.with_seed(args.seed)
+    if getattr(args, "trials", None) is not None:
+        scenario = dataclasses.replace(scenario, trials=args.trials)
+    return scenario
+
+
+def _scenario_header(scenario: Scenario) -> str:
+    config = scenario.scenario
+    thinning = (
+        "no thinning"
+        if config.spare_surplus is None
+        else f"N = {config.spare_surplus}"
+    )
+    extras = []
+    if scenario.failures:
+        extras.append(f"{len(scenario.failures)} scheduled failure(s)")
+    if scenario.energy is not None:
+        extras.append(f"energy: idle {scenario.energy.idle_cost_per_round} J/round")
+    if scenario.run_to_exhaustion:
+        extras.append("run to exhaustion")
+    suffix = f" [{'; '.join(extras)}]" if extras else ""
+    return (
+        f"scenario {scenario.name}: {config.columns}x{config.rows} grid, "
+        f"{config.deployed_count} deployed ({config.deployment}), {thinning}, "
+        f"seed {config.seed}, schemes {', '.join(scenario.schemes)}, "
+        f"trials {scenario.trials}{suffix}"
+    )
+
+
+def _scenario_list_command(args: argparse.Namespace) -> int:
+    from repro.experiments.catalog import load_catalog_scenario
+
+    width = max(len(name) for name in catalog_names())
+    for name in catalog_names():
+        scenario = load_catalog_scenario(name)
+        print(f"{name:<{width}}  {scenario.description}")
+    print()
+    print("run one with: python -m repro scenario run <name>   (--smoke for the CI variant)")
+    return 0
+
+
+def _scenario_show_command(args: argparse.Namespace) -> int:
+    scenario = _resolve_cli_scenario(args)
+    print(dumps_scenario(scenario, format=args.format), end="")
+    return 0
+
+
+def _scenario_run_command(args: argparse.Namespace) -> int:
+    scenario = _resolve_cli_scenario(args)
+    if args.smoke:
+        scenario = scenario.smoke_variant()
+    executor, cache = _execution_backend(args)
+    records = scenario.execute(executor=executor, cache=cache)
+    print(_scenario_header(scenario))
+    if cache is not None and cache.hits:
+        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+    print()
+    result = tabulate_records(scenario, records)
+    _emit(result, args.csv_dir, f"scenario_{scenario.name}.csv")
+    if args.smoke:
+        print(
+            f"scenario smoke OK: {scenario.name} ran {len(records)} run(s) "
+            f"end to end (bounded at {scenario.max_rounds} rounds)"
+        )
+    return 0
+
+
+def _scenario_sweep_command(args: argparse.Namespace) -> int:
+    scenario = _resolve_cli_scenario(args)
+    variants = [scenario.with_spare_surplus(n) for n in args.spares]
+    variant_specs = [variant.run_specs() for variant in variants]
+    specs: List[RunSpec] = [spec for chunk in variant_specs for spec in chunk]
+    executor, cache = _execution_backend(args)
+    records = execute_many(specs, executor=executor, cache=cache)
+    print(_scenario_header(scenario))
+    if cache is not None and cache.hits:
+        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+    print()
+    result = ExperimentResult(
+        name=f"scenario sweep {scenario.name}",
+        columns=[
+            "N",
+            "scheme",
+            "rounds",
+            "converged",
+            "processes",
+            "success_rate",
+            "moves",
+            "distance_m",
+            "holes_left",
+        ],
+        description=f"spare-surplus sweep over N = {args.spares}",
+    )
+    offset = 0
+    for n, variant, chunk_specs in zip(args.spares, variants, variant_specs):
+        chunk = records[offset : offset + len(chunk_specs)]
+        offset += len(chunk)
+        table = tabulate_records(variant, chunk)
+        for row in table.rows:
+            result.add_row(
+                N=n,
+                **{
+                    key: row[key]
+                    for key in result.columns
+                    if key != "N" and key in row
+                },
+            )
+    _emit(result, args.csv_dir, f"scenario_sweep_{scenario.name}.csv")
+    return 0
+
+
+def _scenario_docs_command(args: argparse.Namespace) -> int:
+    rendering = render_catalog_docs()
+    if args.check is not None:
+        try:
+            current = args.check.read_text()
+        except OSError as error:
+            print(f"scenario docs --check: cannot read {args.check}: {error}", file=sys.stderr)
+            return 1
+        if current != rendering:
+            print(
+                f"scenario docs: {args.check} is out of date; regenerate it with\n"
+                f"  python -m repro scenario docs --output {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"scenario docs: {args.check} is in sync with the catalog")
+        return 0
+    if args.output is not None:
+        args.output.write_text(rendering)
+        print(f"[written to {args.output}]")
+        return 0
+    print(rendering, end="")
+    return 0
+
+
+def _scenario_command(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _scenario_list_command,
+        "show": _scenario_show_command,
+        "run": _scenario_run_command,
+        "sweep": _scenario_sweep_command,
+        "docs": _scenario_docs_command,
+    }
+    handler = handlers[args.scenario_command]
+    try:
+        return handler(args)
+    except (ScenarioValidationError, _ScenarioCliError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"scenario: {message}", file=sys.stderr)
+        return 2
+
+
 def _analyze_command(args: argparse.Namespace) -> int:
     moves = analysis.expected_movements(args.spares, args.path_length)
     distance = analysis.expected_total_distance(args.spares, args.path_length, args.cell_size)
@@ -489,6 +756,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _compare_command(args)
     if args.command == "lifetime":
         return _lifetime_command(args)
+    if args.command == "scenario":
+        return _scenario_command(args)
     if args.command == "analyze":
         return _analyze_command(args)
     if args.command == "layout":

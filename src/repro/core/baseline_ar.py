@@ -105,6 +105,7 @@ class LocalizedReplacementController(MobilityController):
     def execute_round(
         self, state: WsnState, rng: random.Random, round_index: int
     ) -> RoundOutcome:
+        """Run one AR round: heads detect adjacent holes and cascade 1-hop replacements."""
         outcome = RoundOutcome(round_index=round_index)
         # O(holes) snapshot from the live vacancy index; no grid scan.
         vacant_snapshot = state.vacant_cell_set()

@@ -175,15 +175,18 @@ class SerpentineHamiltonCycle(HamiltonCycle):
     # --------------------------------------------------------------- topology
     @property
     def cycle_length(self) -> int:
+        """Number of hops in the directed cycle (``m*n`` cells)."""
         return self.grid.cell_count
 
     @property
     def replacement_path_length(self) -> int:
         # Removing the vacant cell from the cycle leaves a Hamilton path of
         # m*n - 1 cells that could supply the spare (Theorem 2).
+        """Longest replacement path the cycle supports (Theorem 2): ``m*n - 1``."""
         return self.grid.cell_count - 1
 
     def order(self) -> List[GridCoord]:
+        """The cells in cycle visiting order (a copy)."""
         return list(self._order)
 
     def successor(self, coord: GridCoord) -> GridCoord:
@@ -195,6 +198,7 @@ class SerpentineHamiltonCycle(HamiltonCycle):
         return self._predecessor[self.grid.validate_coord(coord)]
 
     def monitored_cells(self, coord: GridCoord) -> List[GridCoord]:
+        """The cells whose coverage ``coord``'s head monitors: its cycle successor."""
         return [self.successor(coord)]
 
     def initiator_for(
@@ -203,6 +207,7 @@ class SerpentineHamiltonCycle(HamiltonCycle):
         has_spare: Optional[SpareLookup] = None,
         origin: Optional[GridCoord] = None,
     ) -> Optional[GridCoord]:
+        """The cell whose head initiates the replacement of ``vacant``: its predecessor."""
         return self.predecessor(vacant)
 
     def upstream_distance(self, vacant: GridCoord, supplier: GridCoord) -> int:
@@ -281,11 +286,13 @@ class DualPathHamiltonCycle(HamiltonCycle):
     @property
     def cycle_length(self) -> int:
         # The paper describes the construction as an (m*n - 1)-hop cycle.
+        """Number of hops in the dual-path construction's cycle (``m*n - 1``)."""
         return self.grid.cell_count - 1
 
     @property
     def replacement_path_length(self) -> int:
         # Corollary 2: replacements can stretch as far as m*n - 2 hops.
+        """Longest replacement path of the construction (Corollary 2): ``m*n - 2``."""
         return self.grid.cell_count - 2
 
     def order(self) -> List[GridCoord]:
@@ -293,9 +300,11 @@ class DualPathHamiltonCycle(HamiltonCycle):
         return list(self._path_one)
 
     def path_one(self) -> List[GridCoord]:
+        """Path one of the construction (A -> D -> chain -> C -> B), as a copy."""
         return list(self._path_one)
 
     def path_two(self) -> List[GridCoord]:
+        """Path two of the construction (ends at B instead of A), as a copy."""
         return list(self._path_two)
 
     def shared_chain(self) -> List[GridCoord]:

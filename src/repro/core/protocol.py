@@ -57,24 +57,30 @@ class ReplacementProcess:
 
     @property
     def is_active(self) -> bool:
+        """Whether the process is still running."""
         return self.status is ProcessStatus.ACTIVE
 
     @property
     def converged(self) -> bool:
+        """Whether the process finished successfully (its hole was repaired)."""
         return self.status is ProcessStatus.CONVERGED
 
     @property
     def failed(self) -> bool:
+        """Whether the process failed (its cascade dead-ended)."""
         return self.status is ProcessStatus.FAILED
 
     def record_move(self, move: MoveRecord) -> None:
+        """Append one movement to the process's move list."""
         self.moves.append(move)
 
     def mark_converged(self, round_index: int) -> None:
+        """Mark the process successfully finished in ``round_index``."""
         self.status = ProcessStatus.CONVERGED
         self.finished_round = round_index
 
     def mark_failed(self, round_index: int) -> None:
+        """Mark the process failed in ``round_index``."""
         self.status = ProcessStatus.FAILED
         self.finished_round = round_index
 
@@ -92,10 +98,12 @@ class RoundOutcome:
 
     @property
     def move_count(self) -> int:
+        """Number of movements performed this round."""
         return len(self.moves)
 
     @property
     def total_distance(self) -> float:
+        """Total distance (metres) moved this round."""
         return sum(move.distance for move in self.moves)
 
     @property
@@ -150,9 +158,11 @@ class MobilityController(abc.ABC):
         return [self._processes[pid] for pid in sorted(self._processes)]
 
     def active_processes(self) -> List[ReplacementProcess]:
+        """The processes still running, in creation order."""
         return [p for p in self.processes() if p.is_active]
 
     def process(self, process_id: int) -> ReplacementProcess:
+        """The process with id ``process_id`` (KeyError when unknown)."""
         return self._processes[process_id]
 
     def _start_process(
@@ -171,22 +181,27 @@ class MobilityController(abc.ABC):
     # ------------------------------------------------------------- aggregates
     @property
     def total_processes(self) -> int:
+        """Number of replacement processes ever started."""
         return len(self._processes)
 
     @property
     def total_moves(self) -> int:
+        """Total node movements across all processes."""
         return sum(p.move_count for p in self._processes.values())
 
     @property
     def total_distance(self) -> float:
+        """Total moving distance (metres) across all processes."""
         return sum(p.total_distance for p in self._processes.values())
 
     @property
     def converged_processes(self) -> int:
+        """Number of processes that finished successfully."""
         return sum(1 for p in self._processes.values() if p.converged)
 
     @property
     def failed_processes(self) -> int:
+        """Number of processes that failed."""
         return sum(1 for p in self._processes.values() if p.failed)
 
     @property

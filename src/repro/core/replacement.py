@@ -92,6 +92,7 @@ class HamiltonReplacementController(MobilityController):
     def execute_round(
         self, state: WsnState, rng: random.Random, round_index: int
     ) -> RoundOutcome:
+        """Run one SR round: start processes for new holes and advance each cascade one hop."""
         outcome = RoundOutcome(round_index=round_index)
         # Snapshot the holes visible at the start of the round.  New vacancies
         # created by this round's moves are only observable next round.  The

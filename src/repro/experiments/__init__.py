@@ -46,6 +46,25 @@ from repro.experiments.lifetime import (
     run_lifetime_experiment,
     run_lifetime_smoke,
 )
+from repro.experiments.scenario_files import (
+    Scenario,
+    ScenarioValidationError,
+    dump_scenario,
+    dumps_scenario,
+    load_scenario,
+    loads_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    tabulate_records,
+)
+from repro.experiments.catalog import (
+    CATALOG_NAMES,
+    catalog_names,
+    catalog_scenarios,
+    load_catalog_scenario,
+    render_catalog_docs,
+    resolve_scenario,
+)
 from repro.experiments.figures import (
     PAPER_SPARE_VALUES,
     QUICK_SPARE_VALUES,
@@ -103,4 +122,19 @@ __all__ = [
     "build_lifetime_specs",
     "run_lifetime_experiment",
     "run_lifetime_smoke",
+    "Scenario",
+    "ScenarioValidationError",
+    "load_scenario",
+    "loads_scenario",
+    "dump_scenario",
+    "dumps_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "tabulate_records",
+    "CATALOG_NAMES",
+    "catalog_names",
+    "catalog_scenarios",
+    "load_catalog_scenario",
+    "render_catalog_docs",
+    "resolve_scenario",
 ]

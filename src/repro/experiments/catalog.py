@@ -1,0 +1,185 @@
+"""Curated scenario catalog: named, shipped, documented workloads.
+
+The catalog is the answer to "what can this simulator do besides the paper's
+one workload?": every entry is a declarative scenario file under
+:mod:`repro.scenarios` (see :mod:`repro.experiments.scenario_files` for the
+format), loadable by name, runnable through ``python -m repro scenario run
+<name>``, and documented by the generated ``SCENARIOS.md`` reference
+(:func:`render_catalog_docs`, kept in sync by a CI gate).
+
+The entries span the workload space the ROADMAP asks for:
+
+* ``paper-16x16`` — the paper's Section-5 baseline;
+* ``corner-holes`` / ``edge-breach`` — deterministic holes at the grid's
+  geometric extremes;
+* ``region-jamming`` — disk-shaped attack regions, one of them mid-run;
+* ``attack-waves`` — repeated random compromise waves;
+* ``lifetime-heterogeneous`` — run-until-network-death on jittered batteries;
+* ``sparse-per-cell`` — the Theorem-1 sparse regime;
+* ``stress-64x64`` — a 4096-cell scale stress.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from importlib.resources import files
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.experiments.scenario_files import Scenario, load_scenario, loads_scenario
+
+__all__ = [
+    "CATALOG_NAMES",
+    "catalog_names",
+    "catalog_scenarios",
+    "load_catalog_scenario",
+    "render_catalog_docs",
+    "resolve_scenario",
+]
+
+#: Curated order of the shipped scenarios (also the order of SCENARIOS.md).
+CATALOG_NAMES: Tuple[str, ...] = (
+    "paper-16x16",
+    "corner-holes",
+    "edge-breach",
+    "region-jamming",
+    "attack-waves",
+    "lifetime-heterogeneous",
+    "sparse-per-cell",
+    "stress-64x64",
+)
+
+_SCENARIO_PACKAGE = "repro.scenarios"
+
+
+def catalog_names() -> Tuple[str, ...]:
+    """Names of every shipped catalog scenario, in curated order."""
+    return CATALOG_NAMES
+
+
+@lru_cache(maxsize=None)
+def load_catalog_scenario(name: str) -> Scenario:
+    """Load one shipped scenario by name.
+
+    Raises :class:`KeyError` listing the catalog when the name is unknown.
+    Results are cached — :class:`Scenario` is frozen, so sharing is safe.
+    """
+    if name not in CATALOG_NAMES:
+        raise KeyError(
+            f"unknown catalog scenario {name!r}; available: {list(CATALOG_NAMES)}"
+        )
+    resource = files(_SCENARIO_PACKAGE).joinpath(f"{name}.toml")
+    scenario = loads_scenario(resource.read_text(), format="toml")
+    if scenario.name != name:
+        raise ValueError(
+            f"catalog file {name}.toml declares name = {scenario.name!r}; "
+            "the file name and the document name must match"
+        )
+    return scenario
+
+
+def catalog_scenarios() -> Dict[str, Scenario]:
+    """All shipped scenarios keyed by name, in curated order."""
+    return {name: load_catalog_scenario(name) for name in CATALOG_NAMES}
+
+
+def resolve_scenario(ref: Union[str, Path]) -> Scenario:
+    """Resolve a CLI-style reference: a catalog name or a scenario-file path.
+
+    Anything that looks like a file (an existing path, or a ``.toml`` /
+    ``.json`` suffix) is loaded from disk; everything else is looked up in
+    the catalog, with the catalog listing in the error when the lookup fails.
+    """
+    path = Path(ref)
+    if path.suffix.lower() in (".toml", ".json") or path.exists():
+        return load_scenario(path)
+    return load_catalog_scenario(str(ref))
+
+
+# ------------------------------------------------------------- documentation
+def render_catalog_docs() -> str:
+    """The generated ``SCENARIOS.md`` catalog reference (deterministic).
+
+    Regenerate with ``python -m repro scenario docs --output SCENARIOS.md``;
+    CI fails when the committed file drifts from this rendering.
+    """
+    lines: List[str] = [
+        "# Scenario catalog",
+        "",
+        "<!-- GENERATED FILE - do not edit by hand. -->",
+        "<!-- Regenerate with: python -m repro scenario docs --output SCENARIOS.md -->",
+        "",
+        "Scenario files are declarative TOML/JSON documents (see DESIGN.md and",
+        "`repro.experiments.scenario_files`) that compile into ordinary cached",
+        "`RunSpec` cells.  Every entry below ships inside the package and runs",
+        "with `python -m repro scenario run <name>` (append `--smoke` for the",
+        "bounded CI variant); `python -m repro scenario show <name>` prints the",
+        "underlying document.",
+        "",
+        "| scenario | grid | deployed | N | schemes | failures | energy |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, scenario in catalog_scenarios().items():
+        config = scenario.scenario
+        spare = "-" if config.spare_surplus is None else str(config.spare_surplus)
+        failures = str(len(scenario.failures)) if scenario.failures else "-"
+        energy = "yes" if scenario.energy is not None else "-"
+        lines.append(
+            f"| [`{name}`](#{name}) | {config.columns}x{config.rows} "
+            f"| {config.deployed_count} | {spare} "
+            f"| {', '.join(scenario.schemes)} | {failures} | {energy} |"
+        )
+    for name, scenario in catalog_scenarios().items():
+        config = scenario.scenario
+        lines += ["", f"## {name}", "", scenario.description, ""]
+        if scenario.stresses:
+            lines += [f"**Stresses:** {scenario.stresses}", ""]
+        if scenario.expected:
+            lines += [f"**Expected outcome:** {scenario.expected}", ""]
+        knobs = [
+            ("grid", f"{config.columns}x{config.rows} cells, r = {config.cell_size:.4f} m"),
+            ("deployment", f"{config.deployed_count} nodes, {config.deployment}"),
+            (
+                "thinning",
+                "none"
+                if config.spare_surplus is None
+                else f"to {config.target_enabled} enabled (N = {config.spare_surplus})",
+            ),
+            ("seed", str(config.seed)),
+            ("head policy", config.head_policy),
+            ("schemes", ", ".join(scenario.schemes)),
+            (
+                "rounds",
+                ("engine default" if scenario.max_rounds is None else str(scenario.max_rounds))
+                + (", run to exhaustion" if scenario.run_to_exhaustion else ""),
+            ),
+            ("trials", str(scenario.trials)),
+        ]
+        if config.initial_energy is not None:
+            jitter = (
+                f" (-{config.initial_energy_jitter:.0%} jitter)"
+                if config.initial_energy_jitter
+                else ""
+            )
+            knobs.append(("battery", f"{config.initial_energy} J{jitter}"))
+        if scenario.energy is not None:
+            knobs.append(
+                (
+                    "energy model",
+                    f"idle {scenario.energy.idle_cost_per_round} J/round, "
+                    f"move {scenario.energy.move_cost_per_meter} J/m, "
+                    f"message {scenario.energy.message_cost} J, "
+                    f"depletion at {scenario.energy.depletion_threshold} J",
+                )
+            )
+        lines += ["| knob | value |", "|---|---|"]
+        lines += [f"| {key} | {value} |" for key, value in knobs]
+        if scenario.failures:
+            lines += ["", "Failure schedule:", ""]
+            for event in scenario.failures:
+                params = ", ".join(
+                    f"{key}={value!r}" for key, value in event.params
+                )
+                lines.append(f"- round {event.round}: `{event.kind}` ({params})")
+        lines += ["", f"Run it: `python -m repro scenario run {name}`"]
+    return "\n".join(lines) + "\n"

@@ -237,6 +237,7 @@ def run_lifetime_smoke(jobs: int = 2) -> List[str]:
     )
 
     def canonical(records: Sequence[RunRecord]) -> str:
+        """Canonical JSON form of the records, for byte-identity comparison."""
         return json.dumps([record_to_dict(r) for r in records], sort_keys=True)
 
     serial = execute_many(specs, executor=SerialExecutor())

@@ -41,6 +41,7 @@ from repro.experiments.registry import (
     make_controller,
 )
 from repro.network.energy import EnergyModel
+from repro.network.failures import FailureEvent, compile_failure_schedule
 from repro.network.state import WsnState
 from repro.sim.engine import DEFAULT_IDLE_ROUND_LIMIT, RoundBasedEngine
 from repro.sim.metrics import RunMetrics
@@ -76,6 +77,13 @@ class RunSpec:
     run_to_exhaustion:
         Run-until-network-death mode for lifetime workloads (only meaningful
         together with an energy model whose idle drain is positive).
+    failures:
+        Declarative failure schedule: frozen
+        :class:`~repro.network.failures.FailureEvent` entries the engine
+        applies at the start of their round (dynamic holes).  Events are
+        data, not controller objects, so the spec stays hashable, picklable,
+        and cache-addressable; :func:`execute_run` compiles them with
+        :func:`~repro.network.failures.compile_failure_schedule`.
     """
 
     scenario: ScenarioConfig
@@ -85,6 +93,7 @@ class RunSpec:
     idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT
     energy: Optional[EnergyModel] = None
     run_to_exhaustion: bool = False
+    failures: Tuple[FailureEvent, ...] = ()
 
     def controller_rng_label(self) -> str:
         """Label of the controller random stream (kept stable for reproducibility)."""
@@ -109,6 +118,7 @@ class RunRecord:
 
     @property
     def converged(self) -> bool:
+        """Whether the run ended with complete coverage (no holes left)."""
         return self.metrics.coverage_restored
 
 
@@ -133,6 +143,7 @@ def execute_run(spec: RunSpec, _state: Optional[WsnState] = None) -> RunRecord:
         controller,
         rng,
         max_rounds=spec.max_rounds,
+        failure_schedule=compile_failure_schedule(spec.failures) or None,
         idle_round_limit=spec.idle_round_limit,
         energy_model=spec.energy,
         run_to_exhaustion=spec.run_to_exhaustion,
@@ -215,6 +226,7 @@ class SerialExecutor(RunExecutor):
     """Execute specs one after another in the current process."""
 
     def run_all(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute every spec in order in the current process."""
         records = _run_serially(specs)
         self.runs_executed += len(records)
         return records
@@ -236,6 +248,7 @@ class ParallelExecutor(RunExecutor):
         self.jobs = jobs
 
     def run_all(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute the specs across worker processes; records in spec order."""
         specs = list(specs)
         if not specs:
             return []

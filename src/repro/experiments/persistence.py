@@ -35,6 +35,7 @@ from typing import Dict, Optional, Union
 from repro.experiments.orchestration import RunRecord, RunSpec
 from repro.experiments.registry import factory_identity
 from repro.network.energy import EnergyModel, EnergySummary
+from repro.network.failures import FailureEvent, freeze_params, thaw_params
 from repro.sim.metrics import RunMetrics
 from repro.sim.scenario import ScenarioConfig
 
@@ -42,7 +43,9 @@ from repro.sim.scenario import ScenarioConfig
 #: v2: energy-aware engine — specs carry an optional EnergyModel and the
 #: run-to-exhaustion flag, records carry exhausted/energy_series, metrics
 #: carry an EnergySummary, and bound-hit runs with holes now report stalled.
-CACHE_FORMAT_VERSION = 2
+#: v3: declarative failure schedules — specs carry a tuple of FailureEvents
+#: applied by the engine at the start of their round.
+CACHE_FORMAT_VERSION = 3
 
 
 # ------------------------------------------------------------- serialization
@@ -57,6 +60,14 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, object]:
         "idle_round_limit": spec.idle_round_limit,
         "energy": dataclasses.asdict(spec.energy) if spec.energy is not None else None,
         "run_to_exhaustion": spec.run_to_exhaustion,
+        "failures": [
+            {
+                "round": event.round,
+                "kind": event.kind,
+                "params": dict(thaw_params(event.params)),
+            }
+            for event in spec.failures
+        ],
     }
 
 
@@ -71,6 +82,14 @@ def spec_from_dict(payload: Dict[str, object]) -> RunSpec:
         idle_round_limit=payload["idle_round_limit"],
         energy=EnergyModel(**energy) if energy is not None else None,
         run_to_exhaustion=payload["run_to_exhaustion"],
+        failures=tuple(
+            FailureEvent(
+                round=entry["round"],
+                kind=entry["kind"],
+                params=freeze_params(entry["params"]),
+            )
+            for entry in payload.get("failures", ())
+        ),
     )
 
 
@@ -138,6 +157,7 @@ class RunCache:
         self.misses = 0
 
     def path_for(self, spec: RunSpec) -> Path:
+        """The file a record for ``spec`` is (or would be) stored at."""
         return self.cache_dir / f"{run_key(spec)}.json"
 
     def get(self, spec: RunSpec) -> Optional[RunRecord]:

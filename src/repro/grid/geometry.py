@@ -63,18 +63,22 @@ class BoundingBox:
 
     @property
     def width(self) -> float:
+        """Extent along the x axis (metres)."""
         return self.max_x - self.min_x
 
     @property
     def height(self) -> float:
+        """Extent along the y axis (metres)."""
         return self.max_y - self.min_y
 
     @property
     def area(self) -> float:
+        """Rectangle area (square metres)."""
         return self.width * self.height
 
     @property
     def center(self) -> Point:
+        """Geometric centre of the rectangle."""
         return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
 
     def contains(self, point: Point, tolerance: float = 0.0) -> bool:

@@ -67,6 +67,7 @@ def make_round_robin_policy(period: int = 1) -> HeadElectionPolicy:
     counter = {"elections": 0}
 
     def policy(candidates: Sequence["SensorNode"], cell_center: Point) -> "SensorNode":
+        """Pick the rotation's current candidate, cycling through ids over time."""
         ordered = sorted(candidates, key=lambda node: node.node_id)
         index = (counter["elections"] // period) % len(ordered)
         counter["elections"] += 1

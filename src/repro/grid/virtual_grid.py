@@ -37,6 +37,7 @@ class GridCoord:
     y: int
 
     def manhattan_distance_to(self, other: "GridCoord") -> int:
+        """Grid (L1) distance to ``other`` in cells."""
         return abs(self.x - other.x) + abs(self.y - other.y)
 
     def is_neighbour_of(self, other: "GridCoord") -> bool:
@@ -44,18 +45,23 @@ class GridCoord:
         return self.manhattan_distance_to(other) == 1
 
     def north(self) -> "GridCoord":
+        """The neighbouring coordinate one cell up (+y)."""
         return GridCoord(self.x, self.y + 1)
 
     def south(self) -> "GridCoord":
+        """The neighbouring coordinate one cell down (-y)."""
         return GridCoord(self.x, self.y - 1)
 
     def east(self) -> "GridCoord":
+        """The neighbouring coordinate one cell right (+x)."""
         return GridCoord(self.x + 1, self.y)
 
     def west(self) -> "GridCoord":
+        """The neighbouring coordinate one cell left (-x)."""
         return GridCoord(self.x - 1, self.y)
 
     def as_tuple(self) -> Tuple[int, int]:
+        """The coordinate as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
 
     def __iter__(self) -> Iterator[int]:
@@ -130,10 +136,12 @@ class VirtualGrid:
 
     @property
     def origin(self) -> Point:
+        """Lower-left corner of the grid area (metres)."""
         return self._origin
 
     @property
     def cell_count(self) -> int:
+        """Total number of cells (``columns * rows``)."""
         return self._columns * self._rows
 
     @property
@@ -194,6 +202,7 @@ class VirtualGrid:
         )
 
     def is_corner_cell(self, coord: GridCoord) -> bool:
+        """Whether ``coord`` is one of the four grid corners."""
         self.validate_coord(coord)
         return coord.x in (0, self._columns - 1) and coord.y in (0, self._rows - 1)
 

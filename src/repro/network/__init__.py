@@ -19,11 +19,15 @@ from repro.network.deployment import (
 from repro.network.failures import (
     BatteryDepletionFailure,
     CompositeFailure,
+    FailureEvent,
     FailureModel,
     RandomFailure,
     RegionJammingFailure,
     TargetedCellFailure,
     ThinningToEnabledCount,
+    available_failure_kinds,
+    build_failure_model,
+    compile_failure_schedule,
 )
 from repro.network.energy import (
     EnergyModel,
@@ -44,7 +48,11 @@ __all__ = [
     "deploy_per_cell",
     "deploy_grid_heads",
     "deploy_clustered",
+    "FailureEvent",
     "FailureModel",
+    "available_failure_kinds",
+    "build_failure_model",
+    "compile_failure_schedule",
     "RandomFailure",
     "RegionJammingFailure",
     "TargetedCellFailure",

@@ -5,6 +5,17 @@ or are disabled because they misbehave (Section 1 of the paper; jamming
 attacks in particular can depopulate whole regions).  Failure models operate
 on a :class:`repro.network.state.WsnState` and return the ids of the nodes
 they disabled, so the caller can log them or re-run head election.
+
+The module has two layers:
+
+* the **imperative** layer — :class:`FailureModel` subclasses, constructed in
+  code and applied to a state; and
+* the **declarative** layer — :class:`FailureEvent`, a frozen
+  ``(round, kind, params)`` triple naming a model from :data:`FAILURE_KINDS`.
+  Scenario files and :class:`~repro.experiments.orchestration.RunSpec` carry
+  events (hashable, picklable, JSON/TOML-serializable);
+  :func:`compile_failure_schedule` turns them into the per-round model
+  mapping the engine consumes.
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.grid.geometry import BoundingBox, Point
 from repro.grid.virtual_grid import GridCoord
@@ -50,6 +61,7 @@ class RandomFailure(FailureModel):
             raise ValueError(f"count must be non-negative, got {self.count}")
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable the sampled victims and return their ids."""
         enabled_ids = [node.node_id for node in state.enabled_nodes()]
         if self.probability is not None:
             victims = [node_id for node_id in enabled_ids if rng.random() < self.probability]
@@ -78,6 +90,7 @@ class ThinningToEnabledCount(FailureModel):
             raise ValueError(f"target_enabled must be non-negative, got {self.target_enabled}")
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable random nodes until only ``target_enabled`` remain enabled."""
         enabled_ids = [node.node_id for node in state.enabled_nodes()]
         excess = len(enabled_ids) - self.target_enabled
         if excess <= 0:
@@ -125,6 +138,7 @@ class RegionJammingFailure(FailureModel):
         return position.distance_to(self.center) <= self.radius
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable every enabled node whose position lies inside the region."""
         victims = [
             node.node_id
             for node in state.enabled_nodes()
@@ -147,6 +161,7 @@ class TargetedCellFailure(FailureModel):
     reason: NodeState = NodeState.MISBEHAVING
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable every enabled node located in one of the target cells."""
         victims: List[int] = []
         target_cells = set(self.cells)
         for coord in target_cells:
@@ -172,6 +187,7 @@ class BatteryDepletionFailure(FailureModel):
     reason: NodeState = NodeState.DEPLETED
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Disable every enabled node at or below the energy threshold."""
         victims = [
             node.node_id
             for node in state.enabled_nodes()
@@ -189,7 +205,258 @@ class CompositeFailure(FailureModel):
     models: Sequence[FailureModel] = field(default_factory=list)
 
     def apply(self, state, rng: random.Random) -> List[int]:
+        """Apply every constituent model in order; returns all victim ids."""
         victims: List[int] = []
         for model in self.models:
             victims.extend(model.apply(state, rng))
         return victims
+
+
+# ---------------------------------------------------------- declarative layer
+#: Frozen parameter form: sorted ``(key, value)`` pairs with tuples for lists.
+FrozenParams = Tuple[Tuple[str, object], ...]
+
+
+def freeze_params(params: Mapping[str, object]) -> FrozenParams:
+    """Canonical hashable form of a parameter mapping (sorted, tuples for lists)."""
+    return tuple(sorted((key, _freeze_value(value)) for key, value in params.items()))
+
+
+def _freeze_value(value: object) -> object:
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    return value
+
+
+def thaw_params(params: FrozenParams) -> Dict[str, object]:
+    """Inverse of :func:`freeze_params` (one level: values keep their tuples)."""
+    return dict(params)
+
+
+def _reason_from(params: Dict[str, object], kind: str, default: NodeState) -> NodeState:
+    value = params.pop("reason", None)
+    if value is None:
+        return default
+    if isinstance(value, NodeState):
+        return value
+    choices = sorted(s.value for s in NodeState if s is not NodeState.ENABLED)
+    if not isinstance(value, str) or value not in choices:
+        raise ValueError(
+            f"failure kind {kind!r}: reason must be one of {choices}, got {value!r}"
+        )
+    return NodeState(value)
+
+
+def _checked_number(value: object, kind: str, key: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(
+            f"failure kind {kind!r}: parameter {key!r} must be a number, got {value!r}"
+        )
+    return value
+
+
+def _require_number(params: Dict[str, object], kind: str, key: str) -> float:
+    return _checked_number(params.pop(key, None), kind, key)
+
+
+def _reject_unknown(params: Dict[str, object], kind: str, allowed: Sequence[str]) -> None:
+    if params:
+        raise ValueError(
+            f"failure kind {kind!r} got unknown parameter(s) {sorted(params)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _point_from(value: object, kind: str, key: str) -> Point:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(c, (int, float)) and not isinstance(c, bool) for c in value)
+    ):
+        raise ValueError(
+            f"failure kind {kind!r}: parameter {key!r} must be an [x, y] pair "
+            f"of numbers, got {value!r}"
+        )
+    return Point(float(value[0]), float(value[1]))
+
+
+def _build_random(params: Dict[str, object]) -> FailureModel:
+    reason = _reason_from(params, "random", NodeState.FAILED)
+    probability = params.pop("probability", None)
+    count = params.pop("count", None)
+    _reject_unknown(params, "random", ("probability", "count", "reason"))
+    if probability is not None:
+        probability = _checked_number(probability, "random", "probability")
+    if count is not None:
+        count = int(_checked_number(count, "random", "count"))
+    return RandomFailure(probability=probability, count=count, reason=reason)
+
+
+def _build_thinning(params: Dict[str, object]) -> FailureModel:
+    reason = _reason_from(params, "thinning", NodeState.FAILED)
+    target = int(_require_number(params, "thinning", "target_enabled"))
+    _reject_unknown(params, "thinning", ("target_enabled", "reason"))
+    return ThinningToEnabledCount(target_enabled=target, reason=reason)
+
+
+def _build_region_jamming(params: Dict[str, object]) -> FailureModel:
+    reason = _reason_from(params, "region_jamming", NodeState.FAILED)
+    box_value = params.pop("box", None)
+    center_value = params.pop("center", None)
+    radius_value = params.pop("radius", None)
+    _reject_unknown(params, "region_jamming", ("box", "center", "radius", "reason"))
+    box = None
+    if box_value is not None:
+        if (
+            not isinstance(box_value, (list, tuple))
+            or len(box_value) != 4
+            or not all(
+                isinstance(c, (int, float)) and not isinstance(c, bool)
+                for c in box_value
+            )
+        ):
+            raise ValueError(
+                "failure kind 'region_jamming': parameter 'box' must be "
+                f"[min_x, min_y, max_x, max_y], got {box_value!r}"
+            )
+        box = BoundingBox(
+            float(box_value[0]), float(box_value[1]),
+            float(box_value[2]), float(box_value[3]),
+        )
+    center = (
+        _point_from(center_value, "region_jamming", "center")
+        if center_value is not None
+        else None
+    )
+    radius = (
+        float(_checked_number(radius_value, "region_jamming", "radius"))
+        if radius_value is not None
+        else None
+    )
+    return RegionJammingFailure(box=box, center=center, radius=radius, reason=reason)
+
+
+def _build_targeted_cells(params: Dict[str, object]) -> FailureModel:
+    reason = _reason_from(params, "targeted_cells", NodeState.MISBEHAVING)
+    cells_value = params.pop("cells", None)
+    _reject_unknown(params, "targeted_cells", ("cells", "reason"))
+    if not isinstance(cells_value, (list, tuple)) or not cells_value:
+        raise ValueError(
+            "failure kind 'targeted_cells': parameter 'cells' must be a "
+            f"non-empty list of [x, y] pairs, got {cells_value!r}"
+        )
+    cells = []
+    for entry in cells_value:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(isinstance(c, int) and not isinstance(c, bool) for c in entry)
+        ):
+            raise ValueError(
+                "failure kind 'targeted_cells': every cell must be an [x, y] "
+                f"pair of integers, got {entry!r}"
+            )
+        cells.append(GridCoord(entry[0], entry[1]))
+    return TargetedCellFailure(cells=tuple(cells), reason=reason)
+
+
+def _build_battery_depletion(params: Dict[str, object]) -> FailureModel:
+    reason = _reason_from(params, "battery_depletion", NodeState.DEPLETED)
+    threshold = float(
+        _checked_number(params.pop("threshold", 0.0), "battery_depletion", "threshold")
+    )
+    _reject_unknown(params, "battery_depletion", ("threshold", "reason"))
+    return BatteryDepletionFailure(threshold=threshold, reason=reason)
+
+
+#: Declarative failure kinds: name -> builder taking a plain parameter dict.
+FAILURE_KINDS: Dict[str, Callable[[Dict[str, object]], FailureModel]] = {
+    "random": _build_random,
+    "thinning": _build_thinning,
+    "region_jamming": _build_region_jamming,
+    "targeted_cells": _build_targeted_cells,
+    "battery_depletion": _build_battery_depletion,
+}
+
+
+def available_failure_kinds() -> Tuple[str, ...]:
+    """All declarable failure kinds, sorted."""
+    return tuple(sorted(FAILURE_KINDS))
+
+
+def build_failure_model(kind: str, params: Mapping[str, object]) -> FailureModel:
+    """Instantiate a failure model from its declarative ``(kind, params)`` form.
+
+    Raises :class:`ValueError` with an actionable message on an unknown kind,
+    an unknown parameter, or a malformed parameter value.  The parameter
+    conventions are TOML/JSON-friendly: points are ``[x, y]`` pairs, boxes are
+    ``[min_x, min_y, max_x, max_y]``, cells are ``[[x, y], ...]`` integer
+    pairs, and ``reason`` is a lowercase :class:`NodeState` value name.
+    """
+    try:
+        builder = FAILURE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown failure kind {kind!r}; available: {list(available_failure_kinds())}"
+        ) from None
+    payload = {key: _thaw_value(value) for key, value in dict(params).items()}
+    return builder(payload)
+
+
+def _thaw_value(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_thaw_value(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled, declaratively-named failure: ``(round, kind, params)``.
+
+    This is the form scenario files and
+    :class:`~repro.experiments.orchestration.RunSpec` carry: frozen (hashable
+    and picklable, so specs stay cache keys) and built from plain JSON/TOML
+    values.  ``params`` is stored in the canonical sorted-tuple form of
+    :func:`freeze_params`; use :meth:`with_params` to construct from a dict.
+    The named model is validated eagerly, so a bad event fails at
+    construction time with the builder's actionable error, not mid-run.
+    """
+
+    round: int
+    kind: str
+    params: FrozenParams = ()
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError(f"failure round must be non-negative, got {self.round}")
+        object.__setattr__(self, "params", freeze_params(dict(self.params)))
+        self.build()  # eager validation; the model itself is discarded
+
+    @classmethod
+    def with_params(cls, round: int, kind: str, **params: object) -> "FailureEvent":
+        """Build an event from keyword parameters (``freeze_params`` applied)."""
+        return cls(round=round, kind=kind, params=freeze_params(params))
+
+    def build(self) -> FailureModel:
+        """Instantiate the failure model this event names."""
+        return build_failure_model(self.kind, thaw_params(self.params))
+
+
+def compile_failure_schedule(
+    events: Iterable[FailureEvent],
+) -> Dict[int, FailureModel]:
+    """Turn declarative events into the engine's ``{round: model}`` schedule.
+
+    Events sharing a round are composed (in event order) into one
+    :class:`CompositeFailure`, because the engine applies at most one model
+    per round.
+    """
+    per_round: Dict[int, List[FailureModel]] = {}
+    for event in events:
+        per_round.setdefault(event.round, []).append(event.build())
+    return {
+        round_index: models[0] if len(models) == 1 else CompositeFailure(models=models)
+        for round_index, models in per_round.items()
+    }

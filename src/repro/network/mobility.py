@@ -63,6 +63,7 @@ class MovementModel:
 
     @property
     def grid(self) -> VirtualGrid:
+        """The virtual grid movements are validated against."""
         return self._grid
 
     @property

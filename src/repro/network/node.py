@@ -26,6 +26,7 @@ class NodeState(enum.Enum):
 
     @property
     def is_enabled(self) -> bool:
+        """Whether this state means the node is operational."""
         return self is NodeState.ENABLED
 
 
@@ -106,10 +107,12 @@ class SensorNode:
 
     @property
     def is_head(self) -> bool:
+        """Whether the node currently holds the grid-head role."""
         return self.is_enabled and self.role is NodeRole.HEAD
 
     @property
     def is_spare(self) -> bool:
+        """Whether the node currently holds the spare role."""
         return self.is_enabled and self.role is NodeRole.SPARE
 
     def disable(self, reason: NodeState = NodeState.FAILED) -> None:
@@ -163,6 +166,7 @@ class SensorNode:
 
     @property
     def is_battery_depleted(self) -> bool:
+        """Whether the battery is empty (remaining energy at or below zero)."""
         return self.energy <= 0.0
 
     def charge_message_cost(self, messages: int = 1, cost: float = MESSAGE_COST) -> None:

@@ -83,6 +83,7 @@ class UnitDiskRadio:
         adjacency: Dict[int, List[int]] = {node_id: [] for node_id in ids.tolist()}
 
         def link(indices_a: np.ndarray, indices_b: np.ndarray) -> None:
+            """Record the bidirectional link for each paired node index."""
             for i, j in zip(indices_a.tolist(), indices_b.tolist()):
                 adjacency[ids[i]].append(int(ids[j]))
                 adjacency[ids[j]].append(int(ids[i]))

@@ -151,6 +151,7 @@ class WsnState:
         return [node for node in self._nodes.values() if node.is_enabled]
 
     def disabled_nodes(self) -> List[SensorNode]:
+        """All nodes that are not enabled (failed, misbehaving, or depleted)."""
         return [node for node in self._nodes.values() if not node.is_enabled]
 
     @property
@@ -160,6 +161,7 @@ class WsnState:
 
     @property
     def enabled_count(self) -> int:
+        """Number of enabled nodes (an O(1) read of the incremental index)."""
         return self._enabled_total
 
     # ------------------------------------------------------------------ cells
@@ -177,6 +179,7 @@ class WsnState:
         return [self._nodes[node_id] for node_id in self._cell_members[coord]]
 
     def member_count(self, coord: GridCoord) -> int:
+        """Number of enabled nodes in ``coord`` (an O(1) read of the occupancy index)."""
         self.grid.validate_coord(coord)
         return self._occupancy[coord]
 
@@ -196,6 +199,7 @@ class WsnState:
         ]
 
     def has_spare(self, coord: GridCoord) -> bool:
+        """Whether ``coord`` holds at least one spare beyond its head (O(1))."""
         return self.member_count(coord) > 1
 
     def is_vacant(self, coord: GridCoord) -> bool:
@@ -212,10 +216,12 @@ class WsnState:
         return frozenset(self._vacant)
 
     def occupied_cells(self) -> List[GridCoord]:
+        """Cells with at least one enabled node, in grid enumeration order."""
         return [coord for coord in self.grid.all_coords() if coord not in self._vacant]
 
     @property
     def hole_count(self) -> int:
+        """Number of vacant cells (an O(1) read of the incremental index)."""
         return len(self._vacant)
 
     @property

@@ -1,0 +1,7 @@
+"""Packaged scenario files for the curated catalog.
+
+This package holds the ``*.toml`` scenario documents shipped with the
+library (one per curated workload).  They are data, not code: load them
+through :mod:`repro.experiments.catalog`, which reads them via
+:mod:`importlib.resources` so they work from a wheel as well as a checkout.
+"""

@@ -47,6 +47,7 @@ class EventLog:
         self._events: List[Event] = []
 
     def emit(self, kind: EventKind, round_index: int, **details: object) -> Event:
+        """Append one event to the log and return it."""
         event = Event(kind=kind, round_index=round_index, details=dict(details))
         self._events.append(event)
         return event
@@ -64,6 +65,7 @@ class EventLog:
         return [event for event in self._events if event.kind is kind]
 
     def count(self, kind: EventKind) -> int:
+        """Number of recorded events of ``kind``."""
         return sum(1 for event in self._events if event.kind is kind)
 
     def rounds(self) -> List[int]:
@@ -75,4 +77,5 @@ class EventLog:
         return [str(event) for event in self._events]
 
     def clear(self) -> None:
+        """Drop every recorded event."""
         self._events.clear()

@@ -41,6 +41,7 @@ class RunMetrics:
 
     @property
     def repaired_holes(self) -> int:
+        """Holes repaired during the run: initial minus final hole count."""
         return self.initial_holes - self.final_holes
 
     @property
@@ -56,6 +57,7 @@ class RunMetrics:
 
     @property
     def distance_per_repaired_hole(self) -> float:
+        """Average moving distance per repaired hole (0 when nothing was repaired)."""
         repaired = self.repaired_holes
         return self.total_distance / repaired if repaired > 0 else 0.0
 
@@ -182,6 +184,7 @@ class RoundSeries:
         energy: Optional[float] = None,
         depletions: Optional[int] = None,
     ) -> None:
+        """Append one round's samples to the series."""
         self.holes.append(holes)
         self.moves.append(moves)
         self.distance.append(distance)
@@ -194,10 +197,12 @@ class RoundSeries:
 
     @property
     def rounds(self) -> int:
+        """Number of rounds recorded so far."""
         return len(self.holes)
 
     @property
     def cumulative_moves(self) -> List[int]:
+        """Running total of movements after each round."""
         total = 0
         series = []
         for value in self.moves:

@@ -70,7 +70,10 @@ class ScenarioConfig:
         Name of the head-election policy (see :data:`HEAD_POLICIES`).
     deployment:
         ``"uniform"`` (the paper's workload) or ``"per_cell"`` (exactly
-        ``deployed_count // cells`` nodes per cell; useful for tests).
+        ``deployed_count / cells`` nodes per cell; useful for tests).  A
+        per-cell deployment requires ``deployed_count`` to be a positive
+        multiple of the cell count — anything else cannot be honored exactly
+        and is rejected instead of silently rounding.
     """
 
     columns: int = 16
@@ -108,6 +111,15 @@ class ScenarioConfig:
             raise ValueError(
                 f"deployment must be 'uniform' or 'per_cell', got {self.deployment!r}"
             )
+        if self.deployment == "per_cell":
+            cells = self.columns * self.rows
+            if self.deployed_count == 0 or self.deployed_count % cells != 0:
+                raise ValueError(
+                    "per_cell deployment requires deployed_count to be a "
+                    f"positive multiple of the cell count ({cells}); got "
+                    f"{self.deployed_count}.  Use deployed_count = "
+                    f"{cells} * k for k nodes per cell, or deployment='uniform'."
+                )
 
     # ----------------------------------------------------------- derived view
     @property
@@ -117,6 +129,7 @@ class ScenarioConfig:
 
     @property
     def cell_count(self) -> int:
+        """Total number of virtual-grid cells (``columns * rows``)."""
         return self.columns * self.rows
 
     @property
@@ -128,9 +141,11 @@ class ScenarioConfig:
 
     @property
     def head_policy_fn(self) -> HeadElectionPolicy:
+        """The head-election policy callable named by :attr:`head_policy`."""
         return HEAD_POLICIES[self.head_policy]
 
     def make_grid(self) -> VirtualGrid:
+        """Construct the virtual grid this scenario deploys onto."""
         return VirtualGrid(self.columns, self.rows, self.cell_size)
 
     def with_spare_surplus(self, spare_surplus: int) -> "ScenarioConfig":
@@ -154,8 +169,9 @@ def build_scenario_state(config: ScenarioConfig) -> WsnState:
     if config.deployment == "uniform":
         nodes = deploy_uniform(grid, config.deployed_count, deploy_rng)
     else:
-        per_cell = max(1, config.deployed_count // config.cell_count)
-        nodes = deploy_per_cell(grid, per_cell, deploy_rng)
+        # __post_init__ guarantees deployed_count is a positive multiple of
+        # the cell count, so this deploys exactly deployed_count nodes.
+        nodes = deploy_per_cell(grid, config.deployed_count // config.cell_count, deploy_rng)
     state = WsnState(grid, nodes, head_policy=config.head_policy_fn)
     if config.target_enabled is not None:
         thinning = ThinningToEnabledCount(target_enabled=config.target_enabled)

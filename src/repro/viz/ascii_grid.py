@@ -44,6 +44,7 @@ def render_occupancy(state, cell_width: int = 5) -> str:
     occupancy = state.occupancy()
 
     def text(coord: GridCoord) -> str:
+        """The label rendered inside one cell."""
         count = occupancy[coord]
         return "." if count == 0 else str(count)
 
@@ -54,6 +55,7 @@ def render_roles(state, cell_width: int = 5) -> str:
     """Heads (``H``), spare counts (``+k``) and holes (``.``) per cell."""
 
     def text(coord: GridCoord) -> str:
+        """The label rendered inside one cell."""
         if state.is_vacant(coord):
             return "."
         spares = len(state.spares_of(coord))
@@ -72,6 +74,7 @@ def render_cycle(cycle, cell_width: int = 5) -> str:
     position: Dict[GridCoord, int] = {coord: i for i, coord in enumerate(order)}
 
     def text(coord: GridCoord) -> str:
+        """The label rendered inside one cell."""
         index = position[coord]
         successor = order[(index + 1) % len(order)]
         delta = (successor.x - coord.x, successor.y - coord.y)
@@ -93,6 +96,7 @@ def render_dual_paths(cycle, cell_width: int = 7) -> str:
     chain_index = {coord: i for i, coord in enumerate(chain)}
 
     def text(coord: GridCoord) -> str:
+        """The label rendered inside one cell."""
         label = roles.get(coord, "")
         if coord in chain_index:
             suffix = str(chain_index[coord])
@@ -109,6 +113,7 @@ def render_path_overlay(
     position = {coord: i for i, coord in enumerate(path)}
 
     def text(coord: GridCoord) -> str:
+        """The label rendered inside one cell."""
         index = position.get(coord)
         return "" if index is None else str(index)
 

@@ -1,0 +1,97 @@
+"""Tests for the curated scenario catalog and its generated documentation.
+
+The catalog's contract: every shipped scenario loads, is stored in canonical
+(byte-stable) form, documents itself, runs end to end in its bounded smoke
+variant, and the committed ``SCENARIOS.md`` matches the generated rendering
+(the same gate CI enforces with ``python -m repro scenario docs --check``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.catalog import (
+    CATALOG_NAMES,
+    catalog_names,
+    catalog_scenarios,
+    load_catalog_scenario,
+    render_catalog_docs,
+    resolve_scenario,
+)
+from repro.experiments.scenario_files import dump_scenario, dumps_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIO_DIR = REPO_ROOT / "src" / "repro" / "scenarios"
+
+
+class TestCatalogContents:
+    def test_catalog_matches_shipped_files(self):
+        shipped = {path.stem for path in SCENARIO_DIR.glob("*.toml")}
+        assert shipped == set(CATALOG_NAMES)
+
+    def test_every_entry_loads_and_documents_itself(self):
+        for name, scenario in catalog_scenarios().items():
+            assert scenario.name == name
+            assert scenario.description, f"{name} needs a description"
+            assert scenario.stresses, f"{name} needs a 'stresses' line"
+            assert scenario.expected, f"{name} needs an 'expected' line"
+            assert scenario.schemes
+
+    def test_shipped_files_are_in_canonical_form(self):
+        for name in catalog_names():
+            path = SCENARIO_DIR / f"{name}.toml"
+            assert path.read_text() == dumps_scenario(load_catalog_scenario(name)), (
+                f"{path.name} is not in canonical dump form; rewrite it with "
+                "dump_scenario(load_scenario(path), path)"
+            )
+
+    def test_workload_diversity(self):
+        scenarios = catalog_scenarios()
+        assert any(s.failures for s in scenarios.values())
+        assert any(s.energy is not None for s in scenarios.values())
+        assert any(s.run_to_exhaustion for s in scenarios.values())
+        assert any(s.scenario.deployment == "per_cell" for s in scenarios.values())
+        assert any(s.scenario.cell_count >= 4096 for s in scenarios.values())
+
+
+class TestCatalogExecution:
+    @pytest.mark.parametrize("name", CATALOG_NAMES)
+    def test_every_entry_runs_end_to_end_in_smoke_mode(self, name):
+        scenario = load_catalog_scenario(name).smoke_variant()
+        records = scenario.execute()
+        assert len(records) == len(scenario.schemes)
+        for record in records:
+            assert record.rounds_executed >= 1
+            assert record.metrics.initial_enabled > 0
+
+
+class TestResolution:
+    def test_resolve_by_name(self):
+        assert resolve_scenario("paper-16x16").name == "paper-16x16"
+
+    def test_resolve_by_path(self, tmp_path):
+        scenario = load_catalog_scenario("corner-holes")
+        path = tmp_path / "copy.toml"
+        dump_scenario(scenario, path)
+        assert resolve_scenario(path) == scenario
+
+    def test_unknown_name_lists_catalog(self):
+        with pytest.raises(KeyError) as excinfo:
+            load_catalog_scenario("no-such")
+        assert "paper-16x16" in str(excinfo.value)
+
+
+class TestGeneratedDocs:
+    def test_rendering_is_deterministic_and_complete(self):
+        rendering = render_catalog_docs()
+        assert rendering == render_catalog_docs()
+        for name in CATALOG_NAMES:
+            assert f"## {name}" in rendering
+        assert "GENERATED FILE" in rendering
+
+    def test_committed_scenarios_md_is_in_sync(self):
+        committed = (REPO_ROOT / "SCENARIOS.md").read_text()
+        assert committed == render_catalog_docs(), (
+            "SCENARIOS.md is out of date; regenerate it with "
+            "`python -m repro scenario docs --output SCENARIOS.md`"
+        )

@@ -160,3 +160,94 @@ class TestLifetimeCommand:
         assert main(args + ["--jobs", "2"]) == 0
         parallel_output = capsys.readouterr().out
         assert serial_output == parallel_output
+
+
+class TestScenarioCommand:
+    def test_scenario_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["scenario", "list"]).scenario_command == "list"
+        assert parser.parse_args(["scenario", "show", "paper-16x16"]).ref == "paper-16x16"
+        args = parser.parse_args(["scenario", "run", "corner-holes", "--smoke"])
+        assert args.scenario_command == "run" and args.smoke
+        sweep = parser.parse_args(["scenario", "sweep", "edge-breach", "--spares", "5", "10"])
+        assert sweep.spares == [5, 10]
+        assert parser.parse_args(["scenario", "docs"]).scenario_command == "docs"
+
+    def test_list_prints_every_catalog_entry(self, capsys):
+        from repro.experiments.catalog import CATALOG_NAMES
+
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in CATALOG_NAMES:
+            assert name in output
+
+    def test_show_round_trips_through_the_loader(self, capsys):
+        from repro.experiments.catalog import load_catalog_scenario
+        from repro.experiments.scenario_files import loads_scenario
+
+        assert main(["scenario", "show", "corner-holes"]) == 0
+        output = capsys.readouterr().out
+        assert loads_scenario(output) == load_catalog_scenario("corner-holes")
+
+    def test_run_smoke_executes_a_catalog_entry(self, capsys, tmp_path):
+        code = main(
+            ["scenario", "run", "corner-holes", "--smoke", "--csv-dir", str(tmp_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario smoke OK: corner-holes" in output
+        assert "holes_left" in output
+        assert (tmp_path / "scenario_corner-holes.csv").exists()
+
+    def test_run_a_scenario_file_path_with_cache(self, capsys, tmp_path):
+        from repro.experiments.catalog import load_catalog_scenario
+        from repro.experiments.scenario_files import dump_scenario
+
+        path = tmp_path / "mine.toml"
+        dump_scenario(load_catalog_scenario("corner-holes").smoke_variant(), path)
+        cache_dir = tmp_path / "cache"
+        assert main(["scenario", "run", str(path), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", str(path), "--cache-dir", str(cache_dir)]) == 0
+        assert "[cache: 3 runs reused" in capsys.readouterr().out
+
+    def test_sweep_tabulates_per_spare_value(self, capsys):
+        code = main(
+            ["scenario", "sweep", "corner-holes", "--spares", "8", "16", "--trials", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario sweep corner-holes" in output
+        assert " 8 " in output and "16 " in output
+
+    def test_docs_check_detects_sync_and_drift(self, capsys, tmp_path):
+        from repro.experiments.catalog import render_catalog_docs
+
+        good = tmp_path / "SCENARIOS.md"
+        good.write_text(render_catalog_docs())
+        assert main(["scenario", "docs", "--check", str(good)]) == 0
+        good.write_text("stale")
+        assert main(["scenario", "docs", "--check", str(good)]) == 1
+        assert "out of date" in capsys.readouterr().err
+
+    def test_docs_writes_output_file(self, capsys, tmp_path):
+        target = tmp_path / "SCENARIOS.md"
+        assert main(["scenario", "docs", "--output", str(target)]) == 0
+        assert "# Scenario catalog" in target.read_text()
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["scenario", "run", "no-such"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown catalog scenario" in err and "paper-16x16" in err
+
+    def test_invalid_scenario_file_is_a_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('name = "x"\n[run]\nschemes = ["NOPE"]\n')
+        assert main(["scenario", "run", str(bad)]) == 2
+        assert "run.schemes" in capsys.readouterr().err
+
+    def test_existing_file_without_suffix_is_a_clean_error(self, capsys, tmp_path):
+        ambiguous = tmp_path / "myworkload"
+        ambiguous.write_text('name = "x"\n')
+        assert main(["scenario", "run", str(ambiguous)]) == 2
+        assert "cannot infer scenario format" in capsys.readouterr().err

@@ -91,3 +91,23 @@ class TestBuildScenario:
         state.check_invariants()
         for coord in state.occupied_cells():
             assert state.head_of(coord) is not None
+
+
+class TestPerCellDeploymentValidation:
+    """per_cell deployments must honor deployed_count exactly or be rejected."""
+
+    def test_non_multiple_count_is_rejected(self):
+        with pytest.raises(ValueError, match="positive multiple of the cell count"):
+            ScenarioConfig(columns=6, rows=6, deployed_count=20, deployment="per_cell")
+
+    def test_zero_count_is_rejected(self):
+        with pytest.raises(ValueError, match="positive multiple of the cell count"):
+            ScenarioConfig(columns=4, rows=4, deployed_count=0, deployment="per_cell")
+
+    def test_exact_multiple_deploys_exactly_that_many(self):
+        config = ScenarioConfig(
+            columns=4, rows=4, deployed_count=48, deployment="per_cell", seed=2
+        )
+        state = build_scenario_state(config)
+        assert state.node_count == 48
+        assert all(count == 3 for count in state.occupancy().values())
