@@ -25,6 +25,7 @@ scan in the per-round queries fails CI long before it would be felt on the
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import random
 import statistics
@@ -36,6 +37,7 @@ if __package__ in (None, ""):  # running as a script: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments.registry import make_controller
+from repro.network.channel import DEFAULT_CHANNEL
 from repro.network.deployment import deploy_per_cell
 from repro.network.radio import UnitDiskRadio
 from repro.network.state import WsnState
@@ -59,6 +61,10 @@ HOLES_PER_ROUND = 8
 SMOKE_QUERY_RATIO_LIMIT = 5.0
 #: Smoke-mode guard: generous absolute per-round budget on the 16x16 grid.
 SMOKE_ROUND_SECONDS_LIMIT = 0.05
+#: Guard on the messaging subsystem: per-round cost of SR under the default
+#: perfect channel must stay within this factor of the channel-less legacy
+#: path (the PR-2 per-round cost), measured back to back on the same machine.
+CHANNEL_OVERHEAD_LIMIT = 1.2
 
 
 def build_base_state(columns: int, rows: int, seed: int) -> WsnState:
@@ -110,14 +116,16 @@ def build_failure_schedule(
 
 
 def bench_recovery_rounds(
-    base: WsnState, hole_count: int, seed: int, repeats: int
+    base: WsnState, hole_count: int, seed: int, repeats: int, channel=DEFAULT_CHANNEL
 ) -> dict:
     """Steady-state per-round cost of SR recovery under a constant hole feed.
 
     Every round ``HOLES_PER_ROUND`` fresh holes are punched (scheduled
     failures), so every grid size executes the same number of rounds with the
     same per-round workload — the per-round figure is therefore directly
-    comparable across grid sizes at equal hole count.
+    comparable across grid sizes at equal hole count.  ``channel=None``
+    measures the channel-less legacy path (the pre-channel engine), which is
+    what the channel-overhead guard compares the default against.
     """
     rounds_scheduled = max(1, hole_count // HOLES_PER_ROUND)
     total_seconds = 0.0
@@ -134,6 +142,7 @@ def bench_recovery_rounds(
             controller,
             derive_rng(seed + repeat, "controller"),
             failure_schedule=schedule,
+            channel=channel,
         )
         start = time.perf_counter()
         result = engine.run()
@@ -153,6 +162,67 @@ def bench_recovery_rounds(
         "seconds_total": round(total_seconds, 6),
         "per_round_seconds": round(total_seconds / total_rounds, 8),
         "per_round_seconds_median": round(statistics.median(per_round_samples), 8),
+        "per_round_seconds_min": round(min(per_round_samples), 8),
+    }
+
+
+def bench_channel_overhead(
+    base: WsnState, hole_count: int, seed: int, repeats: int
+) -> dict:
+    """Per-round cost of the default perfect channel vs the channel-less path.
+
+    Both configurations run the identical workload back to back on the same
+    machine, so the ratio isolates the cost of the messaging subsystem
+    (mailbox delivery, send bookkeeping, energy debits) from hardware noise.
+    The two runs are also required to do identical physical work — the
+    perfect channel is a semantic no-op — so the comparison is apples to
+    apples by construction.  To keep the ratio robust against scheduler
+    noise the two configurations are warmed up once and then measured as
+    *adjacent pairs* (legacy immediately followed by perfect, per repeat);
+    the reported overhead is the median of the per-pair ratios, so slow
+    drift affects both sides of every pair equally and a single noisy
+    sample cannot move the estimate.
+    """
+    configs = (("legacy", None), ("perfect", DEFAULT_CHANNEL))
+    # A longer drip feed than the scaling benchmark uses: more rounds per
+    # timed run amortises fixed noise into a stable per-round figure.
+    overhead_holes = hole_count * 4
+    for _, channel in configs:  # warm caches and code paths
+        bench_recovery_rounds(base, overhead_holes, seed, 1, channel=channel)
+    pair_ratios = []
+    samples = {label: [] for label, _ in configs}
+    # Garbage collection is disabled during the timed pairs (as
+    # pytest-benchmark does): the channel side allocates more, so GC pauses
+    # would otherwise land on one side of the comparison systematically.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for repeat in range(max(repeats, 7)):
+            gc.collect()
+            pair = {}
+            # Alternate which configuration runs first so cache/frequency
+            # effects tied to position inside a pair cancel across repeats.
+            ordered = configs if repeat % 2 == 0 else tuple(reversed(configs))
+            for label, channel in ordered:
+                result = bench_recovery_rounds(
+                    base, overhead_holes, seed + repeat, 1, channel=channel
+                )
+                pair[label] = result["per_round_seconds_min"]
+                samples[label].append(pair[label])
+            if pair["legacy"] > 0:
+                pair_ratios.append(pair["perfect"] / pair["legacy"])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ratio = statistics.median(pair_ratios) if pair_ratios else float("inf")
+    # The published per-side figures are medians so the record is
+    # self-consistent: their quotient tracks the guarded pair-median ratio,
+    # which a single minimum on either side would not.
+    return {
+        "per_round_seconds_no_channel": statistics.median(samples["legacy"]),
+        "per_round_seconds_perfect_channel": statistics.median(samples["perfect"]),
+        "overhead_ratio": round(ratio, 3),
+        "limit": CHANNEL_OVERHEAD_LIMIT,
     }
 
 
@@ -231,6 +301,21 @@ def smoke(holes: int, seed: int, repeats: int) -> int:
             f"hole count (limit {SMOKE_QUERY_RATIO_LIMIT}x) — an index regression "
             "re-introduced a grid-size-dependent scan"
         )
+
+    base = build_base_state(16, 16, seed)
+    channel = bench_channel_overhead(base, holes, seed, repeats)
+    print(
+        "channel overhead guard: no-channel "
+        f"{channel['per_round_seconds_no_channel'] * 1e3:.3f} ms vs perfect "
+        f"{channel['per_round_seconds_perfect_channel'] * 1e3:.3f} ms per round "
+        f"-> ratio {channel['overhead_ratio']:.3f} (limit {CHANNEL_OVERHEAD_LIMIT})"
+    )
+    if channel["overhead_ratio"] > CHANNEL_OVERHEAD_LIMIT:
+        failures.append(
+            f"the perfect-channel per-round cost is {channel['overhead_ratio']:.2f}x "
+            f"the channel-less legacy path (limit {CHANNEL_OVERHEAD_LIMIT}x) — the "
+            "messaging subsystem grew a per-round cost not explained by traffic"
+        )
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -245,12 +330,18 @@ def full(holes: int, seed: int, repeats: int, output: Path) -> int:
         largest["rounds"]["per_round_seconds"]
         / smallest["rounds"]["per_round_seconds"]
     )
+    channel = bench_channel_overhead(
+        build_base_state(*GRID_SHAPES[0], seed), holes, seed, repeats
+    )
     report = {
         "benchmark": "bench_scale",
         "description": (
             "SR recovery per-round cost and state-query cost at equal hole "
             "count across grid sizes; per_round_ratio_largest_vs_smallest ~2x "
-            "or less means round cost is grid-size independent"
+            "or less means round cost is grid-size independent, and "
+            "channel_overhead.overhead_ratio <= 1.2 means the control-message "
+            "channel adds no meaningful per-round cost on the default perfect "
+            "model"
         ),
         "scheme": "SR",
         "nodes_per_cell": NODES_PER_CELL,
@@ -262,9 +353,14 @@ def full(holes: int, seed: int, repeats: int, output: Path) -> int:
         "query_ratio_largest_vs_smallest": round(
             largest["query_seconds"] / smallest["query_seconds"], 3
         ),
+        "channel_overhead": channel,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nper-round cost 128x128 vs 16x16: {ratio:.2f}x")
+    print(
+        f"perfect-channel overhead vs channel-less rounds: "
+        f"{channel['overhead_ratio']:.3f}x (limit {CHANNEL_OVERHEAD_LIMIT})"
+    )
     print(f"[written to {output}]")
     return 0
 

@@ -50,6 +50,7 @@ from repro.network.failures import (
     TargetedCellFailure,
     ThinningToEnabledCount,
 )
+from repro.network.channel import ChannelModel, build_channel, parse_channel_spec
 from repro.experiments.catalog import load_catalog_scenario
 from repro.experiments.scenario_files import Scenario, dump_scenario, load_scenario
 from repro.core.hamilton import (
@@ -93,6 +94,9 @@ __all__ = [
     "RegionJammingFailure",
     "TargetedCellFailure",
     "ThinningToEnabledCount",
+    "ChannelModel",
+    "build_channel",
+    "parse_channel_spec",
     "Scenario",
     "load_scenario",
     "dump_scenario",

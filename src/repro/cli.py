@@ -71,6 +71,7 @@ from repro.experiments.scenario_files import (
 from repro.experiments.plotting import ascii_chart
 from repro.experiments.registry import available_schemes
 from repro.experiments.results import ExperimentResult
+from repro.network.channel import ChannelModel, parse_channel_spec
 from repro.network.energy import EnergyModel
 from repro.sim.scenario import ScenarioConfig
 
@@ -139,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--communication-range", type=float, default=10.0)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--max-rounds", type=int, default=None)
+    _add_channel_argument(compare)
     compare.add_argument(
         "--schemes",
         nargs="+",
@@ -259,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
     )
+    _add_channel_argument(run)
     _add_execution_arguments(run)
 
     sweep = scenario_sub.add_parser(
@@ -319,6 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
     layout.add_argument("--rows", type=int, default=5)
 
     return parser
+
+
+def _parse_channel_argument(text: str) -> ChannelModel:
+    """argparse type hook for ``--channel`` (clean error instead of a traceback)."""
+    try:
+        return parse_channel_spec(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_channel_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--channel`` knob of the simulation-running commands."""
+    parser.add_argument(
+        "--channel",
+        type=_parse_channel_argument,
+        default=None,
+        metavar="SPEC",
+        help="control-channel model: 'perfect' (default), 'lossy:<p>', or "
+        "'delayed:<k>'; the 'jammed' kind is configured through a scenario "
+        "file's [channel] table",
+    )
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -460,31 +484,39 @@ def _compare_command(args: argparse.Namespace) -> int:
     )
     executor, cache = _execution_backend(args)
     specs = [
-        RunSpec(scenario=config, scheme=scheme, seed=args.seed, max_rounds=args.max_rounds)
+        RunSpec(
+            scenario=config,
+            scheme=scheme,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            channel=args.channel,
+        )
         for scheme in args.schemes
     ]
     records = execute_many(specs, executor=executor, cache=cache)
     initial = records[0].metrics
+    channel_note = f", channel {args.channel.kind}" if args.channel is not None else ""
     print(
         f"scenario: {config.columns}x{config.rows} grid, r = {config.cell_size:.4f} m, "
         f"{initial.initial_enabled} enabled nodes, {initial.initial_holes} holes, "
-        f"{initial.initial_spares} spares (N = {args.spare_surplus})"
+        f"{initial.initial_spares} spares (N = {args.spare_surplus}){channel_note}"
     )
-    result = ExperimentResult(
-        name="scheme comparison",
-        columns=[
-            "scheme",
-            "rounds",
-            "processes",
-            "success_rate",
-            "moves",
-            "distance_m",
-            "holes_left",
-        ],
-    )
+    show_traffic = args.channel is not None and args.channel.kind != "perfect"
+    columns = [
+        "scheme",
+        "rounds",
+        "processes",
+        "success_rate",
+        "moves",
+        "distance_m",
+        "holes_left",
+    ]
+    if show_traffic:
+        columns += ["messages", "dropped"]
+    result = ExperimentResult(name="scheme comparison", columns=columns)
     for record in records:
         metrics = record.metrics
-        result.add_row(
+        row = dict(
             scheme=record.spec.scheme,
             rounds=metrics.rounds,
             processes=metrics.processes_initiated,
@@ -493,6 +525,10 @@ def _compare_command(args: argparse.Namespace) -> int:
             distance_m=metrics.total_distance,
             holes_left=metrics.final_holes,
         )
+        if show_traffic:
+            row["messages"] = metrics.messages_sent
+            row["dropped"] = metrics.messages_dropped
+        result.add_row(**row)
     print(result.format())
     return 0
 
@@ -570,6 +606,8 @@ def _resolve_cli_scenario(args: argparse.Namespace) -> Scenario:
         scenario = scenario.with_seed(args.seed)
     if getattr(args, "trials", None) is not None:
         scenario = dataclasses.replace(scenario, trials=args.trials)
+    if getattr(args, "channel", None) is not None:
+        scenario = dataclasses.replace(scenario, channel=args.channel)
     return scenario
 
 
@@ -585,6 +623,8 @@ def _scenario_header(scenario: Scenario) -> str:
         extras.append(f"{len(scenario.failures)} scheduled failure(s)")
     if scenario.energy is not None:
         extras.append(f"energy: idle {scenario.energy.idle_cost_per_round} J/round")
+    if scenario.channel is not None:
+        extras.append(f"channel: {scenario.channel.kind}")
     if scenario.run_to_exhaustion:
         extras.append("run to exhaustion")
     suffix = f" [{'; '.join(extras)}]" if extras else ""

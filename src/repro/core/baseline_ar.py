@@ -49,6 +49,12 @@ class _CascadeState:
     #: Unit direction (dx, dy) of the last hop, used to prefer straight cascades.
     direction: Optional[Tuple[int, int]] = None
     stalls: int = 0
+    #: Whether the request asking ``supplier`` to continue the cascade is
+    #: still in the channel.  The process may not advance (and does not count
+    #: stalls) until the request is delivered; on the default perfect channel
+    #: delivery happens exactly one round after the hop, which is when the
+    #: process would advance anyway.
+    awaiting_delivery: bool = False
 
 
 class LocalizedReplacementController(MobilityController):
@@ -107,6 +113,7 @@ class LocalizedReplacementController(MobilityController):
     ) -> RoundOutcome:
         """Run one AR round: heads detect adjacent holes and cascade 1-hop replacements."""
         outcome = RoundOutcome(round_index=round_index)
+        self._service_retries(state, round_index, outcome)
         # O(holes) snapshot from the live vacancy index; no grid scan.
         vacant_snapshot = state.vacant_cell_set()
 
@@ -177,6 +184,12 @@ class LocalizedReplacementController(MobilityController):
         cascade = self._cascades[process_id]
         target = cascade.target
 
+        if cascade.awaiting_delivery:
+            # The request asking the next supplier to continue the cascade is
+            # still in the channel; the process cannot advance (and is not
+            # starving — no stall is counted) until it is delivered.
+            return
+
         if target not in vacant_snapshot and not state.is_vacant(target):
             # Another process filled the target in a *previous* round; this
             # process aborts.  It is redundant work typical of AR, but it did
@@ -223,20 +236,32 @@ class LocalizedReplacementController(MobilityController):
             return
 
         # No spare: the head itself moves into the target, vacating its cell.
-        # The message is debited after the move so a charge that empties the
-        # battery cannot abort the move the head committed to this round.
+        # The notification is sent after the move so a transmission charge
+        # that empties the battery cannot abort the move the head committed
+        # to this round.
         process.notifications_sent += 1
         outcome.messages_sent += 1
         record = state.move_node(
             head.node_id, target, rng, round_index, process_id=process_id
         )
-        head.charge_message_cost(cost=self.message_cost)
         process.record_move(record)
         outcome.moves.append(record)
         self._cascade_vacancies.discard(target)
 
         if process.move_count >= self.max_hops:
             cascade.target = supplier
+            # The hop budget is blown: the head still announces the vacancy
+            # it left behind, but the process is over, so the notification is
+            # advisory (never retried, delivery gates nothing).
+            self._post_replacement_request(
+                sender=head,
+                source_cell=target,
+                target_cell=supplier,
+                vacancy=supplier,
+                process_id=process_id,
+                round_index=round_index,
+                reliable=False,
+            )
             self._fail(process, cascade, round_index, outcome)
             return
 
@@ -247,11 +272,29 @@ class LocalizedReplacementController(MobilityController):
         self._cascade_vacancies.add(supplier)
         if next_supplier is None:
             # Dead end: every usable neighbour is vacant or would backtrack.
+            self._post_replacement_request(
+                sender=head,
+                source_cell=target,
+                target_cell=supplier,
+                vacancy=supplier,
+                process_id=process_id,
+                round_index=round_index,
+                reliable=False,
+            )
             self._fail(process, cascade, round_index, outcome)
             return
         cascade.supplier = next_supplier
         cascade.direction = direction
         cascade.stalls = 0
+        if self._post_replacement_request(
+            sender=head,
+            source_cell=target,
+            target_cell=next_supplier,
+            vacancy=supplier,
+            process_id=process_id,
+            round_index=round_index,
+        ):
+            cascade.awaiting_delivery = True
 
     def _choose_next_supplier(
         self,
@@ -305,6 +348,47 @@ class LocalizedReplacementController(MobilityController):
             spares,
             key=lambda node: (node.position.distance_to(target_center), node.node_id),
         )
+
+    # -------------------------------------------------------------- messaging
+    def _reset_messaging_state(self) -> None:
+        """Drop delivery gates from a previous run's channel (rebind hook)."""
+        for cascade in self._cascades.values():
+            cascade.awaiting_delivery = False
+
+    def _on_request_delivered(
+        self, state: WsnState, message, round_index: int
+    ) -> None:
+        """The next supplier heard about the cascade: the process may advance."""
+        if message.process_id is None:
+            return
+        cascade = self._cascades.get(message.process_id)
+        if cascade is None or not cascade.awaiting_delivery:
+            return
+        vacancy = (message.payload or {}).get("vacancy")
+        if vacancy is not None and tuple(vacancy) != cascade.target.as_tuple():
+            # A late duplicate (retransmission) of an *earlier* hop's request:
+            # it must not open the gate for the current hop, whose own
+            # notification may still be in flight or lost.
+            return
+        cascade.awaiting_delivery = False
+
+    def _on_request_abandoned(
+        self, state: WsnState, key, round_index: int, outcome: RoundOutcome
+    ) -> None:
+        """Retry budget exhausted: with 1-hop knowledge the process cannot recover.
+
+        Only the request gating the *current* hop can doom the process: an
+        exhausted entry for an earlier hop (delivered long ago, but its
+        acknowledgements kept getting lost) says nothing about the cascade's
+        viability.
+        """
+        process = self._processes.get(key[0])
+        cascade = self._cascades.get(key[0])
+        if process is None or cascade is None or not process.is_active:
+            return
+        if cascade.awaiting_delivery and key[1] == cascade.target.as_tuple():
+            cascade.awaiting_delivery = False
+            self._fail(process, cascade, round_index, outcome)
 
     def _fail(
         self,

@@ -16,11 +16,13 @@ import abc
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from repro.grid.virtual_grid import GridCoord
+from repro.network.channel import ChannelState
+from repro.network.messages import Message, MessageKind
 from repro.network.mobility import MoveRecord
-from repro.network.node import MESSAGE_COST
+from repro.network.node import SensorNode
 from repro.network.state import WsnState
 
 
@@ -86,6 +88,31 @@ class ReplacementProcess:
 
 
 @dataclass
+class _PendingRequest:
+    """Sender-side bookkeeping for one unacknowledged replacement request.
+
+    Unreliable channels engage this reliability layer: the sender keeps the
+    request's addressing, and resends it when no
+    :attr:`~repro.network.messages.MessageKind.REPLACEMENT_ACK` for its key
+    arrives within the channel's ack timeout.  ``key`` is
+    ``(process_id, vacancy)`` — the protocol-level identity of the request,
+    stable across retransmissions.
+    """
+
+    key: Tuple[int, Tuple[int, int]]
+    target_cell: GridCoord
+    sender_id: int
+    last_sent_round: int
+    #: Controller-wide serial of the request, echoed in every retransmission
+    #: and acknowledgement.  A cascade may revisit the same cell within one
+    #: process, reusing the ``(process_id, vacancy)`` key; the nonce stops a
+    #: late acknowledgement of the *older* request from settling the newer
+    #: request's entry.
+    nonce: int = 0
+    retries: int = 0
+
+
+@dataclass
 class RoundOutcome:
     """What happened during one synchronous round."""
 
@@ -132,10 +159,183 @@ class MobilityController(abc.ABC):
     def __init__(self) -> None:
         self._processes: Dict[int, ReplacementProcess] = {}
         self._next_process_id = 0
-        #: Joules debited from a head per control message it sends.  The
-        #: engine overrides this from its energy model so node-level message
-        #: debits follow the configured physics.
-        self.message_cost: float = MESSAGE_COST
+        #: The run's control channel.  ``None`` (standalone use, outside an
+        #: engine) falls back to the pre-channel semantics: notifications are
+        #: counted and charged at the node default but not materialised.
+        self.channel: Optional[ChannelState] = None
+        #: Requests awaiting acknowledgement, keyed by ``(process_id, vacancy)``.
+        self._awaiting_ack: Dict[Tuple[int, Tuple[int, int]], _PendingRequest] = {}
+        #: Serial stamped into each tracked request (see ``_PendingRequest.nonce``).
+        self._request_nonce = 0
+
+    # -------------------------------------------------------------- messaging
+    def bind_channel(self, channel: Optional[ChannelState]) -> None:
+        """Attach the run's control channel (called by the engine).
+
+        Binding clears the messaging state (pending acknowledgements and the
+        subclass delivery gates): a controller may be reused across engine
+        runs, and a gate waiting on a message that only exists in a previous
+        run's mailbox would otherwise block its cascade forever.
+        """
+        self.channel = channel
+        self._awaiting_ack.clear()
+        self._reset_messaging_state()
+
+    def _reset_messaging_state(self) -> None:
+        """Hook: clear subclass delivery-gating state (default: no-op)."""
+
+    def handle_messages(
+        self,
+        state: WsnState,
+        inbox: Dict[GridCoord, List[Message]],
+        round_index: int,
+    ) -> None:
+        """Process this round's channel deliveries (called by the engine).
+
+        Requests are dispatched to :meth:`_on_request_delivered` and — on
+        unreliable channels — acknowledged by the destination cell's head;
+        acknowledgements settle the sender-side retry entries.  A request
+        addressed to a cell that currently has no head is not acknowledged,
+        so the sender's retry keeps the cascade alive until a head exists.
+        """
+        for cell, messages in inbox.items():
+            for message in messages:
+                if message.kind is MessageKind.REPLACEMENT_ACK:
+                    pending = self._awaiting_ack.get(self._message_key(message))
+                    if pending is not None and (
+                        (message.payload or {}).get("req") == pending.nonce
+                    ):
+                        del self._awaiting_ack[pending.key]
+                    continue
+                self._on_request_delivered(state, message, round_index)
+                if (
+                    self.channel is not None
+                    and self.channel.requires_ack
+                    and (message.payload or {}).get("ack", True)
+                ):
+                    head = state.head_of(cell) if not state.is_vacant(cell) else None
+                    if head is not None and not head.is_battery_depleted:
+                        self.channel.send(
+                            MessageKind.REPLACEMENT_ACK,
+                            source_cell=cell,
+                            target_cell=message.source_cell,
+                            round_index=round_index,
+                            sender_id=head.node_id,
+                            process_id=message.process_id,
+                            payload=dict(message.payload or {}),
+                        )
+
+    @property
+    def pending_acknowledgements(self) -> int:
+        """Requests still awaiting an acknowledgement (unreliable channels only)."""
+        return len(self._awaiting_ack)
+
+    @staticmethod
+    def _message_key(message: Message) -> Tuple[int, Tuple[int, int]]:
+        """The ``(process_id, vacancy)`` identity of a request/ack pair."""
+        vacancy = tuple((message.payload or {}).get("vacancy", (-1, -1)))
+        return (message.process_id if message.process_id is not None else -1, vacancy)
+
+    def _on_request_delivered(
+        self, state: WsnState, message: Message, round_index: int
+    ) -> None:
+        """Hook: a replacement request reached its destination (default: no-op)."""
+
+    def _on_request_abandoned(
+        self,
+        state: WsnState,
+        key: Tuple[int, Tuple[int, int]],
+        round_index: int,
+        outcome: "RoundOutcome",
+    ) -> None:
+        """Hook: a request exhausted its retry budget (default: no-op)."""
+
+    def _post_replacement_request(
+        self,
+        sender: SensorNode,
+        source_cell: GridCoord,
+        target_cell: GridCoord,
+        vacancy: GridCoord,
+        process_id: int,
+        round_index: int,
+        reliable: bool = True,
+    ) -> bool:
+        """Send one replacement request through the channel.
+
+        Returns ``True`` when the request was routed through a real channel
+        (so the caller must gate the cascade on its delivery).  Without a
+        channel the pre-channel fallback applies: the sender is charged the
+        node-level default message cost and no gating happens.  With
+        ``reliable=False`` the message is advisory (fire-and-forget): it is
+        neither acknowledged nor retried, and delivery gates nothing.
+        """
+        if self.channel is None:
+            sender.charge_message_cost()
+            return False
+        payload = {"vacancy": vacancy.as_tuple()}
+        if not reliable:
+            payload["ack"] = False
+        track = reliable and self.channel.requires_ack
+        if track:
+            payload["req"] = self._request_nonce
+        self.channel.send(
+            MessageKind.REPLACEMENT_REQUEST,
+            source_cell=source_cell,
+            target_cell=target_cell,
+            round_index=round_index,
+            sender_id=sender.node_id,
+            process_id=process_id,
+            payload=payload,
+        )
+        if track:
+            key = (process_id, vacancy.as_tuple())
+            self._awaiting_ack[key] = _PendingRequest(
+                key=key,
+                target_cell=target_cell,
+                sender_id=sender.node_id,
+                last_sent_round=round_index,
+                nonce=self._request_nonce,
+            )
+            self._request_nonce += 1
+        return reliable
+
+    def _service_retries(
+        self, state: WsnState, round_index: int, outcome: "RoundOutcome"
+    ) -> None:
+        """Resend timed-out requests; abandon those out of budget.
+
+        Controllers that send gated requests call this at the top of every
+        round.  Only unreliable channels ever populate the pending table, so
+        this is a no-op on perfect/delayed channels.
+        """
+        if self.channel is None or not self.channel.requires_ack:
+            return
+        for key in sorted(self._awaiting_ack):
+            pending = self._awaiting_ack[key]
+            process = self._processes.get(key[0])
+            if process is None or not process.is_active:
+                del self._awaiting_ack[key]
+                continue
+            if round_index - pending.last_sent_round < self.channel.model.ack_timeout:
+                continue
+            sender = state.node(pending.sender_id)
+            exhausted = pending.retries >= self.channel.model.max_retries
+            if exhausted or not sender.is_enabled or sender.is_battery_depleted:
+                del self._awaiting_ack[key]
+                self._on_request_abandoned(state, key, round_index, outcome)
+                continue
+            self.channel.send(
+                MessageKind.REPLACEMENT_REQUEST,
+                source_cell=state.grid.cell_of(sender.position),
+                target_cell=pending.target_cell,
+                round_index=round_index,
+                sender_id=sender.node_id,
+                process_id=key[0],
+                payload={"vacancy": key[1], "req": pending.nonce},
+            )
+            pending.retries += 1
+            pending.last_sent_round = round_index
+            outcome.messages_sent += 1
 
     # ----------------------------------------------------------------- rounds
     @abc.abstractmethod

@@ -21,11 +21,12 @@ assumes.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.hamilton import HamiltonCycle
 from repro.core.protocol import MobilityController, ReplacementProcess, RoundOutcome
 from repro.grid.virtual_grid import GridCoord
+from repro.network.messages import Message
 from repro.network.node import SensorNode
 from repro.network.state import WsnState
 
@@ -87,6 +88,12 @@ class HamiltonReplacementController(MobilityController):
         self.activation_probability = activation_probability
         #: Vacant cells currently being served, mapped to their process id.
         self._vacancy_process: Dict[GridCoord, int] = {}
+        #: Cascade vacancies whose replacement request is still in flight.
+        #: A head only acts on a cascade vacancy once the notification has
+        #: actually been delivered through the channel; on the default
+        #: perfect channel delivery happens exactly one round after the move,
+        #: which is precisely when the vacancy becomes actionable anyway.
+        self._undelivered: Set[GridCoord] = set()
 
     # ------------------------------------------------------------------ round
     def execute_round(
@@ -94,6 +101,7 @@ class HamiltonReplacementController(MobilityController):
     ) -> RoundOutcome:
         """Run one SR round: start processes for new holes and advance each cascade one hop."""
         outcome = RoundOutcome(round_index=round_index)
+        self._service_retries(state, round_index, outcome)
         # Snapshot the holes visible at the start of the round.  New vacancies
         # created by this round's moves are only observable next round.  The
         # vacancy index makes this O(holes log holes) — round cost no longer
@@ -107,6 +115,10 @@ class HamiltonReplacementController(MobilityController):
             if process is not None and not process.is_active:
                 # Served by a process that already finished (e.g. failed):
                 # leave the vacancy alone; the scheme has no spare to offer.
+                continue
+            if process is not None and vacant in self._undelivered:
+                # The cascade notification for this vacancy is still in the
+                # channel; nobody knows about it yet, so nobody may act.
                 continue
 
             origin = process.origin_cell if process is not None else vacant
@@ -174,15 +186,33 @@ class HamiltonReplacementController(MobilityController):
 
         # Step 3: no spare — the head notifies its own initiator and moves
         # itself into the vacant cell, leaving its cell vacant for the
-        # cascading replacement.  The message is debited after the move: a
-        # head whose battery would be emptied by the message charge must
-        # still complete the move it committed to this round.
+        # cascading replacement.  The notification is sent after the move: a
+        # head whose battery would be emptied by the transmission must still
+        # complete the move it committed to this round.
         process.notifications_sent += 1
         outcome.messages_sent += 1
         record = state.move_node(
             head.node_id, vacant, rng, round_index, process_id=process.process_id
         )
-        head.charge_message_cost(cost=self.message_cost)
+        notify_target = (
+            self.cycle.initiator_for(
+                initiator, has_spare=state.has_spare, origin=process.origin_cell
+            )
+            or initiator
+        )
+        # The hop that blows the budget ends the process, so its notification
+        # is advisory: nobody will serve the abandoned vacancy, hence nothing
+        # to acknowledge or retry.
+        final_hop = process.move_count + 1 >= self.max_hops
+        gated = self._post_replacement_request(
+            sender=head,
+            source_cell=vacant,
+            target_cell=notify_target,
+            vacancy=initiator,
+            process_id=process.process_id,
+            round_index=round_index,
+            reliable=not final_hop,
+        )
         process.record_move(record)
         outcome.moves.append(record)
         del self._vacancy_process[vacant]
@@ -195,6 +225,8 @@ class HamiltonReplacementController(MobilityController):
             outcome.processes_failed.append(process.process_id)
             return
         self._vacancy_process[initiator] = process.process_id
+        if gated:
+            self._undelivered.add(initiator)
 
     @staticmethod
     def _usable_spares(state: WsnState, cell: GridCoord) -> List[SensorNode]:
@@ -229,6 +261,46 @@ class HamiltonReplacementController(MobilityController):
             spares,
             key=lambda node: (node.position.distance_to(target_center), node.node_id),
         )
+
+    # -------------------------------------------------------------- messaging
+    def _reset_messaging_state(self) -> None:
+        """Drop delivery gates from a previous run's channel (rebind hook)."""
+        self._undelivered.clear()
+
+    def _on_request_delivered(
+        self, state: WsnState, message: Message, round_index: int
+    ) -> None:
+        """A cascade notification arrived: its vacancy becomes actionable.
+
+        The gate only opens for the process that currently owns the vacancy:
+        a stale retransmission from an earlier process that once served the
+        same (since refilled and re-vacated) cell must not unlock a later
+        process's still-undelivered notification.
+        """
+        payload = message.payload or {}
+        vacancy = payload.get("vacancy")
+        if vacancy is None:
+            return
+        cell = GridCoord(*vacancy)
+        if self._vacancy_process.get(cell) == message.process_id:
+            self._undelivered.discard(cell)
+
+    def _on_request_abandoned(
+        self,
+        state: WsnState,
+        key: Tuple[int, Tuple[int, int]],
+        round_index: int,
+        outcome: RoundOutcome,
+    ) -> None:
+        """Retry budget exhausted: the cascade can never continue, so it fails."""
+        process_id, vacancy_tuple = key
+        vacancy = GridCoord(*vacancy_tuple)
+        process = self._processes.get(process_id)
+        if process is None or not process.is_active or vacancy not in self._undelivered:
+            return
+        self._undelivered.discard(vacancy)
+        process.mark_failed(round_index)
+        outcome.processes_failed.append(process_id)
 
     # -------------------------------------------------------------- lifecycle
     def is_quiescent(self, state: WsnState) -> bool:

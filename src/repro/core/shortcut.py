@@ -126,12 +126,22 @@ class ShortcutReplacementController(HamiltonReplacementController):
 
         # Short-cut: pull the spare straight from the neighbouring cell.  The
         # initiator still coordinates the repair (one notification), so the
-        # one-process-per-hole property is preserved.
+        # one-process-per-hole property is preserved.  The notification is
+        # advisory — the spare dispatch itself carries the command — so it is
+        # fire-and-forget on every channel and never gates the move.
         spare = self._select_spare(state, shortcut_cell, vacant, rng)
         assert spare is not None
         process.notifications_sent += 1
         outcome.messages_sent += 1
-        head.charge_message_cost(cost=self.message_cost)
+        self._post_replacement_request(
+            sender=head,
+            source_cell=initiator,
+            target_cell=shortcut_cell,
+            vacancy=vacant,
+            process_id=process.process_id,
+            round_index=round_index,
+            reliable=False,
+        )
         record = state.move_node(
             spare.node_id, vacant, rng, round_index, process_id=process.process_id
         )

@@ -16,7 +16,11 @@ The entries span the workload space the ROADMAP asks for:
 * ``attack-waves`` — repeated random compromise waves;
 * ``lifetime-heterogeneous`` — run-until-network-death on jittered batteries;
 * ``sparse-per-cell`` — the Theorem-1 sparse regime;
-* ``stress-64x64`` — a 4096-cell scale stress.
+* ``stress-64x64`` — a 4096-cell scale stress;
+* ``lossy-channel`` — the paper's workload on a 20%-loss control channel;
+* ``delayed-relay`` — a 3-round-latency control backbone;
+* ``comms-blackout`` — a mid-recovery communication blackout over the
+  attacked region (jammed channel composing with a jamming failure).
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ CATALOG_NAMES: Tuple[str, ...] = (
     "lifetime-heterogeneous",
     "sparse-per-cell",
     "stress-64x64",
+    "lossy-channel",
+    "delayed-relay",
+    "comms-blackout",
 )
 
 _SCENARIO_PACKAGE = "repro.scenarios"
@@ -116,18 +123,19 @@ def render_catalog_docs() -> str:
         "bounded CI variant); `python -m repro scenario show <name>` prints the",
         "underlying document.",
         "",
-        "| scenario | grid | deployed | N | schemes | failures | energy |",
-        "|---|---|---|---|---|---|---|",
+        "| scenario | grid | deployed | N | schemes | failures | energy | channel |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     for name, scenario in catalog_scenarios().items():
         config = scenario.scenario
         spare = "-" if config.spare_surplus is None else str(config.spare_surplus)
         failures = str(len(scenario.failures)) if scenario.failures else "-"
         energy = "yes" if scenario.energy is not None else "-"
+        channel = scenario.channel.kind if scenario.channel is not None else "-"
         lines.append(
             f"| [`{name}`](#{name}) | {config.columns}x{config.rows} "
             f"| {config.deployed_count} | {spare} "
-            f"| {', '.join(scenario.schemes)} | {failures} | {energy} |"
+            f"| {', '.join(scenario.schemes)} | {failures} | {energy} | {channel} |"
         )
     for name, scenario in catalog_scenarios().items():
         config = scenario.scenario
@@ -172,6 +180,17 @@ def render_catalog_docs() -> str:
                     f"depletion at {scenario.energy.depletion_threshold} J",
                 )
             )
+        if scenario.channel is not None:
+            params = ", ".join(
+                f"{key}={value!r}" for key, value in scenario.channel.params
+            )
+            detail = f"`{scenario.channel.kind}`" + (f" ({params})" if params else "")
+            if not scenario.channel.reliable:
+                detail += (
+                    f", ack timeout {scenario.channel.ack_timeout} rounds, "
+                    f"{scenario.channel.max_retries} retries"
+                )
+            knobs.append(("channel", detail))
         lines += ["| knob | value |", "|---|---|"]
         lines += [f"| {key} | {value} |" for key, value in knobs]
         if scenario.failures:

@@ -40,6 +40,7 @@ from repro.experiments.registry import (
     SchemeFactory,
     make_controller,
 )
+from repro.network.channel import DEFAULT_CHANNEL, ChannelModel
 from repro.network.energy import EnergyModel
 from repro.network.failures import FailureEvent, compile_failure_schedule
 from repro.network.state import WsnState
@@ -84,6 +85,12 @@ class RunSpec:
         data, not controller objects, so the spec stays hashable, picklable,
         and cache-addressable; :func:`execute_run` compiles them with
         :func:`~repro.network.failures.compile_failure_schedule`.
+    channel:
+        The :class:`~repro.network.channel.ChannelModel` carrying the run's
+        control-message traffic.  ``None`` means the default perfect
+        one-round channel (the paper's assumption).  The channel's random
+        stream is derived from ``seed`` with its own label, so loss patterns
+        change per trial without perturbing the controller stream.
     """
 
     scenario: ScenarioConfig
@@ -94,6 +101,17 @@ class RunSpec:
     energy: Optional[EnergyModel] = None
     run_to_exhaustion: bool = False
     failures: Tuple[FailureEvent, ...] = ()
+    channel: Optional[ChannelModel] = None
+
+    def __post_init__(self) -> None:
+        """Normalise an explicit default channel to ``None``.
+
+        ``--channel perfect`` and an omitted channel describe byte-identical
+        runs; folding them onto one canonical form keeps spec equality — and
+        therefore the run-cache key — semantic rather than syntactic.
+        """
+        if self.channel == DEFAULT_CHANNEL:
+            object.__setattr__(self, "channel", None)
 
     def controller_rng_label(self) -> str:
         """Label of the controller random stream (kept stable for reproducibility)."""
@@ -147,6 +165,8 @@ def execute_run(spec: RunSpec, _state: Optional[WsnState] = None) -> RunRecord:
         idle_round_limit=spec.idle_round_limit,
         energy_model=spec.energy,
         run_to_exhaustion=spec.run_to_exhaustion,
+        channel=spec.channel if spec.channel is not None else DEFAULT_CHANNEL,
+        channel_seed=spec.seed,
     )
     result = engine.run()
     return RunRecord(

@@ -34,6 +34,7 @@ from typing import Dict, Optional, Union
 
 from repro.experiments.orchestration import RunRecord, RunSpec
 from repro.experiments.registry import factory_identity
+from repro.network.channel import channel_from_dict, channel_to_dict
 from repro.network.energy import EnergyModel, EnergySummary
 from repro.network.failures import FailureEvent, freeze_params, thaw_params
 from repro.sim.metrics import RunMetrics
@@ -45,7 +46,10 @@ from repro.sim.scenario import ScenarioConfig
 #: carry an EnergySummary, and bound-hit runs with holes now report stalled.
 #: v3: declarative failure schedules — specs carry a tuple of FailureEvents
 #: applied by the engine at the start of their round.
-CACHE_FORMAT_VERSION = 3
+#: v4: pluggable control channels — specs carry an optional ChannelModel,
+#: control messages are real channel traffic debited by the engine, and
+#: metrics carry messages_dropped / mean_delivery_latency.
+CACHE_FORMAT_VERSION = 4
 
 
 # ------------------------------------------------------------- serialization
@@ -68,6 +72,7 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, object]:
             }
             for event in spec.failures
         ],
+        "channel": channel_to_dict(spec.channel),
     }
 
 
@@ -90,6 +95,7 @@ def spec_from_dict(payload: Dict[str, object]) -> RunSpec:
             )
             for entry in payload.get("failures", ())
         ),
+        channel=channel_from_dict(payload.get("channel")),
     )
 
 

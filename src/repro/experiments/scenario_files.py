@@ -32,6 +32,12 @@ The document format (TOML form; JSON mirrors the same structure)::
     [energy]              # optional EnergyModel fields
     idle_cost_per_round = 0.25
 
+    [channel]             # optional ChannelModel: control-message physics
+    kind = "lossy"        # perfect (default) | lossy | delayed | jammed
+    drop_probability = 0.2
+    ack_timeout = 3       # optional reliability-layer knobs
+    max_retries = 8
+
     [run]
     schemes = ["SR", "AR"]
     trials = 1
@@ -63,6 +69,7 @@ from repro.experiments.orchestration import RunExecutor, RunRecord, RunSpec, exe
 from repro.experiments.persistence import RunCache
 from repro.experiments.registry import available_schemes
 from repro.experiments.results import ExperimentResult, average_dicts
+from repro.network.channel import ChannelModel, channel_from_dict, channel_to_dict
 from repro.network.energy import EnergyModel
 from repro.network.failures import (
     FailureEvent,
@@ -127,6 +134,10 @@ class Scenario:
         Declarative failure schedule applied by the engine mid-run.
     energy:
         Optional energy physics the engine applies every round.
+    channel:
+        Optional control-channel model (``None``: the paper's perfect
+        one-round channel).  Lossy/jammed channels stress the schemes'
+        message traffic the way failures stress their sensing.
     trials:
         Independent repetitions; each trial re-seeds the deployment and the
         controller stream together (one trial runs the scenario seed itself,
@@ -148,6 +159,7 @@ class Scenario:
     expected: str = ""
     failures: Tuple[FailureEvent, ...] = ()
     energy: Optional[EnergyModel] = None
+    channel: Optional[ChannelModel] = None
     trials: int = 1
     max_rounds: Optional[int] = None
     idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT
@@ -249,6 +261,7 @@ class Scenario:
                         energy=self.energy,
                         run_to_exhaustion=self.run_to_exhaustion,
                         failures=self.failures,
+                        channel=self.channel,
                     )
                 )
         return specs
@@ -300,6 +313,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, object]:
     payload["scenario"] = {k: v for k, v in config.items() if v is not None}
     if scenario.energy is not None:
         payload["energy"] = dataclasses.asdict(scenario.energy)
+    if scenario.channel is not None:
+        payload["channel"] = channel_to_dict(scenario.channel)
     run: Dict[str, object] = {
         "schemes": list(scenario.schemes),
         "trials": scenario.trials,
@@ -335,6 +350,7 @@ _TOP_LEVEL_KEYS = (
     "expected",
     "scenario",
     "energy",
+    "channel",
     "run",
     "failures",
 )
@@ -368,6 +384,7 @@ def scenario_from_dict(payload: Mapping[str, object]) -> Scenario:
 
     config = _scenario_config_from(payload.get("scenario", {}))
     energy = _energy_from(payload.get("energy"))
+    channel = _channel_from(payload.get("channel"))
     run = payload.get("run", {})
     if not isinstance(run, Mapping):
         raise ScenarioValidationError("run", f"must be a table, got {type(run).__name__}")
@@ -397,6 +414,7 @@ def scenario_from_dict(payload: Mapping[str, object]) -> Scenario:
             expected=_text("expected"),
             failures=failures,
             energy=energy,
+            channel=channel,
             trials=_int_field(run, "trials", 1),
             max_rounds=_optional_int_field(run, "max_rounds"),
             idle_round_limit=_int_field(run, "idle_round_limit", DEFAULT_IDLE_ROUND_LIMIT),
@@ -467,6 +485,19 @@ def _energy_from(table: object) -> Optional[EnergyModel]:
         return EnergyModel(**dict(table))
     except (TypeError, ValueError) as error:
         raise ScenarioValidationError("energy", str(error)) from error
+
+
+def _channel_from(table: object) -> Optional[ChannelModel]:
+    if table is None:
+        return None
+    if not isinstance(table, Mapping):
+        raise ScenarioValidationError(
+            "channel", f"must be a table, got {type(table).__name__}"
+        )
+    try:
+        return channel_from_dict(table)
+    except (TypeError, ValueError) as error:
+        raise ScenarioValidationError("channel", str(error)) from error
 
 
 def _failures_from(entries: object) -> Tuple[FailureEvent, ...]:
@@ -584,7 +615,7 @@ def _toml_dumps(payload: Mapping[str, object]) -> str:
         if isinstance(value, Mapping) or key == "failures":
             continue
         lines.append(f"{key} = {_toml_value(value)}")
-    for key in ("scenario", "energy", "run"):
+    for key in ("scenario", "energy", "channel", "run"):
         table = payload.get(key)
         if not isinstance(table, Mapping):
             continue
@@ -639,6 +670,8 @@ def tabulate_records(
     ]
     if scenario.energy is not None:
         columns += ["depleted_nodes", "energy_consumed"]
+    if scenario.channel is not None:
+        columns += ["messages", "dropped", "delivery_latency"]
     result = ExperimentResult(
         name=f"scenario {scenario.name}",
         columns=columns,
@@ -665,6 +698,10 @@ def tabulate_records(
                 summary = metrics.energy
                 row["depleted_nodes"] = summary.depleted_nodes if summary else 0
                 row["energy_consumed"] = summary.total_consumed if summary else 0.0
+            if scenario.channel is not None:
+                row["messages"] = metrics.messages_sent
+                row["dropped"] = metrics.messages_dropped
+                row["delivery_latency"] = metrics.mean_delivery_latency
             per_scheme[scheme].append(row)
     for scheme in scenario.schemes:
         result.add_row(**average_dicts(per_scheme[scheme]))

@@ -37,6 +37,14 @@ from repro.network.energy import (
 )
 from repro.network.mobility import MoveRecord, MovementModel
 from repro.network.messages import Mailbox, Message, MessageKind
+from repro.network.channel import (
+    ChannelModel,
+    ChannelState,
+    ChannelStats,
+    available_channel_kinds,
+    build_channel,
+    parse_channel_spec,
+)
 from repro.network.state import WsnState
 
 __all__ = [
@@ -68,5 +76,11 @@ __all__ = [
     "Message",
     "MessageKind",
     "Mailbox",
+    "ChannelModel",
+    "ChannelState",
+    "ChannelStats",
+    "available_channel_kinds",
+    "build_channel",
+    "parse_channel_spec",
     "WsnState",
 ]

@@ -16,10 +16,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.protocol import MobilityController, RoundOutcome
-from repro.network.energy import EnergyModel, remaining_energy
+from repro.network.channel import (
+    DEFAULT_CHANNEL,
+    ChannelModel,
+    ChannelStats,
+    build_channel,
+)
+from repro.network.energy import EnergyModel, energy_summary, remaining_energy
 from repro.network.failures import FailureModel
+from repro.network.node import MESSAGE_COST
 from repro.network.state import WsnState
 from repro.sim.events import EventKind, EventLog
+from repro.sim.rng import derive_rng
 from repro.sim.metrics import (
     InitialSnapshot,
     RoundSeries,
@@ -48,6 +56,9 @@ class SimulationResult:
     event_log: Optional[EventLog] = None
     #: Ids of nodes the engine disabled as battery-depleted, in depletion order.
     depleted_nodes: List[int] = field(default_factory=list)
+    #: Traffic statistics of the run's control channel (``None`` when the
+    #: engine ran without a messaging subsystem).
+    channel_stats: Optional[ChannelStats] = None
 
     @property
     def converged(self) -> bool:
@@ -88,6 +99,17 @@ class RoundBasedEngine:
         coverage is complete — keep draining until a hole becomes
         unrepairable (stall), the network dies, or ``max_rounds`` hits.  This
         is the run-until-network-death mode of the lifetime workloads.
+    channel:
+        The :class:`~repro.network.channel.ChannelModel` of the run's control
+        traffic.  The default is the paper's perfect one-round channel, which
+        reproduces the pre-channel semantics bit for bit.  Pass ``None`` to
+        run without a messaging subsystem at all — the controllers fall back
+        to their observation-driven legacy path (used by the channel-overhead
+        benchmark and the equivalence regression tests).
+    channel_seed:
+        Seed of the channel's own random stream (stochastic drops); kept
+        separate from ``rng`` so loss patterns never perturb movement
+        targets.
     """
 
     def __init__(
@@ -101,6 +123,8 @@ class RoundBasedEngine:
         idle_round_limit: int = DEFAULT_IDLE_ROUND_LIMIT,
         energy_model: Optional[EnergyModel] = None,
         run_to_exhaustion: bool = False,
+        channel: Optional[ChannelModel] = DEFAULT_CHANNEL,
+        channel_seed: int = 0,
     ) -> None:
         if idle_round_limit < 1:
             raise ValueError(f"idle_round_limit must be >= 1, got {idle_round_limit}")
@@ -120,16 +144,41 @@ class RoundBasedEngine:
         self.energy_model = energy_model
         self.run_to_exhaustion = run_to_exhaustion
         self.depleted_nodes: List[int] = []
+        #: Joules debited per control-message transmission — the single
+        #: source of truth for message energy, applied by the engine to every
+        #: actual channel send.
+        self._message_cost = (
+            energy_model.message_cost if energy_model is not None else MESSAGE_COST
+        )
+        if channel is None and self._message_cost != MESSAGE_COST:
+            # The legacy path charges the node default at the send site; it
+            # cannot honour a custom rate, and silently under- or
+            # over-debiting would corrupt the energy books.
+            raise ValueError(
+                "channel=None (the legacy no-messaging path) cannot honour a "
+                f"custom EnergyModel.message_cost ({self._message_cost}); run "
+                "with a channel model instead"
+            )
+        self.channel = (
+            build_channel(channel, derive_rng(channel_seed, f"channel:{channel.kind}"))
+            if channel is not None
+            else None
+        )
+        if self.channel is not None:
+            # Message energy is debited at the moment of transmission — the
+            # same in-round visibility the movement debit has, so a head that
+            # empties its battery by transmitting is seen as depleted for the
+            # rest of the round.
+            self.channel.debit_hook = self._charge_sender
+        controller.bind_channel(self.channel)
         if energy_model is not None:
-            # Route the model's rates into the node-level debit paths: moves
+            # Route the model's move rate into the node-level debit path
             # through the state's movement model (a reconfigured copy, so
-            # e.g. a whole-cell targeting choice survives) and messages
-            # through the controller's charge rate.
+            # e.g. a whole-cell targeting choice survives).
             if energy_model.move_cost_per_meter != state.movement_model.move_cost_per_meter:
                 state.movement_model = state.movement_model.with_move_cost(
                     energy_model.move_cost_per_meter
                 )
-            controller.message_cost = energy_model.message_cost
 
     # -------------------------------------------------------------------- run
     def run(self) -> SimulationResult:
@@ -152,10 +201,19 @@ class RoundBasedEngine:
         for round_index in range(self.max_rounds):
             self._inject_failures(round_index)
             round_depletions = self._apply_energy(round_index)
+            sent_before, dropped_before = self._channel_counters()
+            if self.channel is not None:
+                # Control messages sent in earlier rounds arrive now, before
+                # any head acts — the paper's one-round-latency assumption,
+                # generalised to whatever the channel model dictates.
+                inbox = self.channel.deliver(round_index)
+                if inbox:
+                    self.controller.handle_messages(self.state, inbox, round_index)
             outcome = self.controller.execute_round(self.state, self.rng, round_index)
             outcomes.append(outcome)
             rounds_executed = round_index + 1
             self._emit_outcome(outcome)
+            sent_after, dropped_after = self._channel_counters()
             # hole_count and spare_count are O(1) reads of the state's
             # incremental indices, so per-round sampling stays cheap on
             # arbitrarily large grids.  The energy total is an O(enabled)
@@ -167,6 +225,12 @@ class RoundBasedEngine:
                 spares=self.state.spare_count,
                 energy=remaining_energy(self.state)[0] if track_energy else None,
                 depletions=round_depletions if track_energy else None,
+                messages=(
+                    sent_after - sent_before
+                    if self.channel is not None
+                    else outcome.messages_sent
+                ),
+                drops=dropped_after - dropped_before,
             )
 
             if outcome.made_progress or round_depletions:
@@ -176,7 +240,11 @@ class RoundBasedEngine:
 
             if self._finished(round_index):
                 break
-            if idle_rounds >= self.idle_round_limit and not self._failures_pending(round_index):
+            if (
+                idle_rounds >= self.idle_round_limit
+                and not self._failures_pending(round_index)
+                and not self._messaging_pending()
+            ):
                 if self.state.hole_count > 0:
                     # Holes remain and nobody has acted on them for the whole
                     # idle window: the run is stuck, in every mode.
@@ -199,9 +267,27 @@ class RoundBasedEngine:
         finalize = getattr(self.controller, "finalize", None)
         if callable(finalize):
             finalize(self.state, final_round)
-        messages_sent = sum(outcome.messages_sent for outcome in outcomes)
+        if self.channel is not None:
+            # The channel is the authority on traffic: every actual
+            # transmission (requests, retries, acknowledgements) counts.
+            messages_sent = self.channel.sent_count
+            messages_dropped = self.channel.dropped_count
+            mean_latency = self.channel.mean_delivery_latency
+        else:
+            messages_sent = sum(outcome.messages_sent for outcome in outcomes)
+            messages_dropped = 0
+            mean_latency = 0.0
         metrics = collect_metrics(
-            self.controller, self.state, initial, rounds_executed, messages_sent
+            self.controller,
+            self.state,
+            initial,
+            rounds_executed,
+            messages_sent,
+            # The battery summary is an O(all nodes) sweep — worth it only
+            # when the run actually had energy physics to report on.
+            energy=energy_summary(self.state) if track_energy else None,
+            messages_dropped=messages_dropped,
+            mean_delivery_latency=mean_latency,
         )
         self._emit(
             EventKind.SIMULATION_FINISHED,
@@ -219,9 +305,37 @@ class RoundBasedEngine:
             series=series,
             event_log=self.event_log,
             depleted_nodes=list(self.depleted_nodes),
+            channel_stats=self.channel.stats() if self.channel is not None else None,
         )
 
     # --------------------------------------------------------------- internal
+    def _channel_counters(self) -> tuple:
+        """(sent, dropped) totals of the channel (zeros without a channel)."""
+        if self.channel is None:
+            return (0, 0)
+        return (self.channel.sent_count, self.channel.dropped_count)
+
+    def _charge_sender(self, sender_id: int) -> None:
+        """Debit one transmission from its sender (the channel's debit hook).
+
+        This is the single message-energy accounting path: requests, retries,
+        and acknowledgements all debit :attr:`_message_cost` joules from the
+        node that fired the radio, whether or not the channel lost the
+        message in transit.
+        """
+        self.state.node(sender_id).charge_message_cost(cost=self._message_cost)
+
+    def _messaging_pending(self) -> bool:
+        """Whether control traffic is still in flight or awaiting retries.
+
+        An idle window that merely spans a long delivery latency or ack
+        timeout must not be mistaken for a stall: the cascade will resume
+        (or give up, unblocking a real stall verdict) once the channel acts.
+        """
+        if self.channel is None:
+            return False
+        return self.channel.pending_count > 0 or self.controller.pending_acknowledgements > 0
+
     def _apply_energy(self, round_index: int) -> int:
         """Apply the energy model for one round; returns how many nodes depleted."""
         if self.energy_model is None:
@@ -332,6 +446,8 @@ def run_recovery(
     event_log: Optional[EventLog] = None,
     energy_model: Optional[EnergyModel] = None,
     run_to_exhaustion: bool = False,
+    channel: Optional[ChannelModel] = DEFAULT_CHANNEL,
+    channel_seed: int = 0,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RoundBasedEngine` and run it."""
     engine = RoundBasedEngine(
@@ -343,5 +459,7 @@ def run_recovery(
         event_log=event_log,
         energy_model=energy_model,
         run_to_exhaustion=run_to_exhaustion,
+        channel=channel,
+        channel_seed=channel_seed,
     )
     return engine.run()

@@ -38,6 +38,19 @@ class RunMetrics:
     cell_coverage_before: float
     cell_coverage_after: float
     energy: Optional[EnergySummary] = None
+    #: Control messages the channel lost in transit (0 on reliable channels
+    #: and on pre-channel legacy runs).
+    messages_dropped: int = 0
+    #: Mean rounds between send and delivery over the delivered messages
+    #: (0.0 when nothing was delivered; 1.0 on the paper's perfect channel).
+    mean_delivery_latency: float = 0.0
+
+    @property
+    def message_delivery_rate(self) -> float:
+        """Fraction of sent messages not lost in transit (1.0 with no traffic)."""
+        if not self.messages_sent:
+            return 1.0
+        return 1.0 - self.messages_dropped / self.messages_sent
 
     @property
     def repaired_holes(self) -> int:
@@ -74,6 +87,8 @@ class RunMetrics:
             "total_moves": self.total_moves,
             "total_distance": self.total_distance,
             "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "mean_delivery_latency": self.mean_delivery_latency,
             "initial_holes": self.initial_holes,
             "final_holes": self.final_holes,
             "repaired_holes": self.repaired_holes,
@@ -120,17 +135,20 @@ def collect_metrics(
     rounds: int,
     messages_sent: int,
     energy: Optional[EnergySummary] = None,
+    messages_dropped: int = 0,
+    mean_delivery_latency: float = 0.0,
 ) -> RunMetrics:
     """Combine controller bookkeeping and final state into a :class:`RunMetrics`.
 
-    ``energy`` defaults to a fresh :func:`~repro.network.energy.energy_summary`
-    of the final state, so every run record carries its battery snapshot.
+    ``energy`` is the battery snapshot of the final state; the engine supplies
+    one (:func:`~repro.network.energy.energy_summary`) only when the run had
+    an energy model — summarising every battery is an O(all nodes) sweep, far
+    more expensive than the rounds themselves on large grids, so runs without
+    energy physics skip it and report ``energy=None``.
     """
     total_cells = state.grid.cell_count
     final_holes = state.hole_count
     redundant = getattr(controller, "redundant_processes", 0)
-    if energy is None:
-        energy = energy_summary(state)
     return RunMetrics(
         scheme=controller.name,
         rounds=rounds,
@@ -152,6 +170,8 @@ def collect_metrics(
         if total_cells
         else 1.0,
         energy=energy,
+        messages_dropped=messages_dropped,
+        mean_delivery_latency=mean_delivery_latency,
     )
 
 
@@ -174,6 +194,10 @@ class RoundSeries:
     energy: List[float] = field(default_factory=list)
     #: Number of nodes the engine disabled as battery-depleted in each round.
     depletions: List[int] = field(default_factory=list)
+    #: Control messages transmitted in each round (requests, retries, acks).
+    messages: List[int] = field(default_factory=list)
+    #: Control messages the channel lost in transit in each round.
+    drops: List[int] = field(default_factory=list)
 
     def record(
         self,
@@ -183,6 +207,8 @@ class RoundSeries:
         spares: Optional[int] = None,
         energy: Optional[float] = None,
         depletions: Optional[int] = None,
+        messages: Optional[int] = None,
+        drops: Optional[int] = None,
     ) -> None:
         """Append one round's samples to the series."""
         self.holes.append(holes)
@@ -194,6 +220,10 @@ class RoundSeries:
             self.energy.append(energy)
         if depletions is not None:
             self.depletions.append(depletions)
+        if messages is not None:
+            self.messages.append(messages)
+        if drops is not None:
+            self.drops.append(drops)
 
     @property
     def rounds(self) -> int:
