@@ -3,23 +3,28 @@
 The state/engine/controller stack is supposed to make per-round recovery
 cost a function of the number of holes, not of the grid size (see DESIGN.md,
 "The state-index contract").  This benchmark checks that claim empirically:
-it times SR recovery rounds on 16x16, 64x64, and 128x128 grids (3 nodes per
-cell, so the largest scenario deploys ~49k nodes) with the *same* number of
-holes punched into each, and it micro-benchmarks the hot state queries
-(``hole_count``, ``spare_count``, ``vacant_cells``) the engine and the
-controllers issue every round.
+it times SR recovery rounds on 16x16 through 256x256 grids (3 nodes per
+cell, so the largest default scenario deploys ~197k nodes) with the *same*
+number of holes punched into each, and it micro-benchmarks the hot state
+queries (``hole_count``, ``spare_count``, ``vacant_cells``) the engine and
+the controllers issue every round.  Since the struct-of-arrays refactor the
+run also times the vectorized deployment and batch-adjacency paths per tier
+(``deploy_seconds``, ``adjacency_per_edge_seconds``) and the incremental
+:class:`~repro.network.adjacency.NeighborIndex` against a full rebuild.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_scale.py            # full run, writes BENCH_scale.json
-    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # CI smoke: smallest grid + regression guard
+    PYTHONPATH=src python benchmarks/bench_scale.py            # default run, writes BENCH_scale.json
+    PYTHONPATH=src python benchmarks/bench_scale.py --full     # adds the 512x512 (~786k node) tier
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # CI smoke: guards only
 
 The full run writes ``BENCH_scale.json`` at the repository root, seeding the
-repo's perf trajectory.  The smoke run executes only the smallest grid's
-round benchmark plus a query-scaling guard (16x16 vs 64x64 at equal hole
-count) and exits non-zero when the ratio blows up — an accidental O(m*n)
-scan in the per-round queries fails CI long before it would be felt on the
-128x128 workload.
+repo's perf trajectory.  The smoke run executes the smallest grid's round
+benchmark plus the regression guards — query scaling (16x16 vs 64x64 at
+equal hole count), batch adjacency wall-clock at 49k nodes, and the per-edge
+adjacency ceiling on the 256x256 tier — and exits non-zero when any guard
+trips, so an accidental O(m*n) scan or a de-vectorized hot loop fails CI
+long before it would be felt on the 512x512 workload.
 """
 
 from __future__ import annotations
@@ -36,7 +41,10 @@ from pathlib import Path
 if __package__ in (None, ""):  # running as a script: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import numpy as np
+
 from repro.experiments.registry import make_controller
+from repro.network.adjacency import adjacency_lists, build_edges
 from repro.network.channel import DEFAULT_CHANNEL
 from repro.network.deployment import deploy_per_cell
 from repro.network.radio import UnitDiskRadio
@@ -46,8 +54,10 @@ from repro.sim.rng import derive_rng
 from repro.grid.virtual_grid import VirtualGrid, cell_side_for_range
 
 #: (columns, rows) of the benchmarked grids; 3 nodes per cell everywhere, so
-#: the largest grid deploys 128 * 128 * 3 = 49152 sensors.
-GRID_SHAPES = ((16, 16), (64, 64), (128, 128))
+#: the largest default grid deploys 256 * 256 * 3 = 196608 sensors.
+GRID_SHAPES = ((16, 16), (64, 64), (128, 128), (256, 256))
+#: The ``--full`` tier: 512 * 512 * 3 = 786432 sensors, local runs only.
+LARGE_GRID_SHAPE = (512, 512)
 NODES_PER_CELL = 3
 COMMUNICATION_RANGE = 10.0
 #: Holes punched into every grid — equal across sizes so per-round cost is
@@ -65,12 +75,43 @@ SMOKE_ROUND_SECONDS_LIMIT = 0.05
 #: perfect channel must stay within this factor of the channel-less legacy
 #: path (the PR-2 per-round cost), measured back to back on the same machine.
 CHANNEL_OVERHEAD_LIMIT = 1.2
+#: Guard on the vectorized batch-adjacency path: wall-clock ceiling for the
+#: full adjacency build at 49k nodes (the 128x128 tier).  The pre-refactor
+#: per-node implementation measured ~2.3 s here; the vectorized path is well
+#: under 0.25 s, so tripping this means adjacency de-vectorized.
+ADJACENCY_SECONDS_LIMIT_49K = 0.25
+#: Guard on adjacency throughput: ceiling on seconds per produced edge,
+#: checked on the 256x256 tier (~4.5M edges).  The vectorized path measures
+#: well under 1e-7 s/edge; the old per-node code sat around 2e-6.
+ADJACENCY_PER_EDGE_SECONDS_LIMIT = 5e-7
+#: Guard on the batched deployment path: wall-clock ceiling for generating
+#: the 512x512 deployment (~786k nodes) as arrays.
+DEPLOY_SECONDS_LIMIT_786K = 2.0
+#: Incremental-index microbenchmark: moves timed per tier.
+INCREMENTAL_UPDATES = 200
+#: Largest node count the incremental-index microbenchmark runs at; the
+#: index materialises per-row neighbour arrays, which is not worth the build
+#: time on the top tiers.
+INCREMENTAL_MAX_NODES = 100_000
 
 
 def build_base_state(columns: int, rows: int, seed: int) -> WsnState:
     grid = VirtualGrid(columns, rows, cell_side_for_range(COMMUNICATION_RANGE))
-    nodes = deploy_per_cell(grid, NODES_PER_CELL, derive_rng(seed, "deployment"))
-    return WsnState(grid, nodes)
+    arrays = deploy_per_cell(
+        grid, NODES_PER_CELL, derive_rng(seed, "deployment"), as_arrays=True
+    )
+    return WsnState(grid, arrays)
+
+
+def bench_deploy(columns: int, rows: int, seed: int) -> dict:
+    """Time the batched array-backed deployment for one tier."""
+    grid = VirtualGrid(columns, rows, cell_side_for_range(COMMUNICATION_RANGE))
+    start = time.perf_counter()
+    arrays = deploy_per_cell(
+        grid, NODES_PER_CELL, derive_rng(seed, "deployment"), as_arrays=True
+    )
+    elapsed = time.perf_counter() - start
+    return {"seconds": round(elapsed, 6), "nodes": len(arrays)}
 
 
 def punch_holes(state: WsnState, hole_count: int, rng: random.Random) -> None:
@@ -237,14 +278,66 @@ def bench_queries(state: WsnState, iterations: int = 2000) -> float:
 
 
 def bench_adjacency(state: WsnState) -> dict:
-    """Time the cell-bucketed neighbour search over all enabled nodes."""
-    radio = UnitDiskRadio(COMMUNICATION_RANGE)
-    nodes = state.enabled_nodes()
+    """Time the vectorized adjacency build over all enabled nodes.
+
+    ``seconds`` times :func:`~repro.network.adjacency.build_edges` — the
+    array edge list every at-scale consumer (the incremental index, the
+    connectivity graph, this benchmark) works from.  The id-keyed
+    dict-of-lists view costs an extra ``adjacency_lists_seconds`` on top; it
+    materialises two Python ints per link, which is inherent to the dict
+    shape and not part of the vectorized core.
+    """
+    arrays = state.arrays
+    mask = arrays.enabled_mask()
+    xs = arrays.positions[mask, 0]
+    ys = arrays.positions[mask, 1]
+    count = int(mask.sum())
+    # Best of two: the first build pays one-off page-fault/allocator costs
+    # that would otherwise dominate the per-edge figure on the big tiers.
+    edge_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        left, right = build_edges(xs, ys, COMMUNICATION_RANGE)
+        edge_seconds = min(edge_seconds, time.perf_counter() - start)
+    edges = len(left)
     start = time.perf_counter()
-    adjacency = radio.adjacency(nodes)
-    elapsed = time.perf_counter() - start
-    edges = sum(len(neighbours) for neighbours in adjacency.values()) // 2
-    return {"seconds": round(elapsed, 6), "nodes": len(nodes), "edges": edges}
+    adjacency_lists(arrays.node_ids[mask], left, right)
+    lists_seconds = time.perf_counter() - start
+    return {
+        "seconds": round(edge_seconds, 6),
+        "nodes": count,
+        "edges": edges,
+        "per_edge_seconds": round(edge_seconds / edges, 12) if edges else 0.0,
+        "adjacency_lists_seconds": round(lists_seconds, 6),
+    }
+
+
+def bench_incremental_adjacency(state: WsnState, updates: int = INCREMENTAL_UPDATES) -> dict:
+    """Per-update cost of the incremental NeighborIndex vs a full rebuild.
+
+    ``updates`` random enabled rows are re-linked in place (the exact work
+    ``on_move`` performs: drop incident edges, rehash the bucket, re-scan the
+    3x3 bucket neighbourhood); the speedup column is the number of such
+    updates one full rebuild would have paid for.
+    """
+    radio = UnitDiskRadio(COMMUNICATION_RANGE)
+    start = time.perf_counter()
+    index = state.attach_neighbor_index(radio)
+    full_build = time.perf_counter() - start
+    rows = np.flatnonzero(state.arrays.enabled_mask())
+    rng = random.Random(1234)
+    picks = [int(rows[rng.randrange(len(rows))]) for _ in range(updates)]
+    start = time.perf_counter()
+    for row in picks:
+        index.on_move(row)
+    per_update = (time.perf_counter() - start) / updates
+    state.detach_neighbor_index()
+    return {
+        "full_build_seconds": round(full_build, 6),
+        "per_update_seconds": round(per_update, 9),
+        "updates": updates,
+        "updates_per_rebuild": round(full_build / per_update, 1) if per_update else 0.0,
+    }
 
 
 def run_grid(columns: int, rows: int, holes: int, seed: int, repeats: int) -> dict:
@@ -261,13 +354,18 @@ def run_grid(columns: int, rows: int, holes: int, seed: int, repeats: int) -> di
         "holes": holes,
         "rounds": rounds,
         "query_seconds": round(query_seconds, 9),
+        "deploy": bench_deploy(columns, rows, seed),
         "adjacency": bench_adjacency(base),
     }
+    if base.node_count <= INCREMENTAL_MAX_NODES:
+        entry["incremental_adjacency"] = bench_incremental_adjacency(base.clone())
     print(
         f"{columns:>4}x{rows:<4} {base.node_count:>6} nodes  "
         f"per-round {rounds['per_round_seconds'] * 1e3:8.3f} ms  "
         f"queries {query_seconds * 1e6:8.2f} us  "
-        f"adjacency {entry['adjacency']['seconds']:6.2f} s"
+        f"deploy {entry['deploy']['seconds']:6.3f} s  "
+        f"adjacency {entry['adjacency']['seconds']:6.3f} s "
+        f"({entry['adjacency']['per_edge_seconds'] * 1e9:6.1f} ns/edge)"
     )
     return entry
 
@@ -302,6 +400,32 @@ def smoke(holes: int, seed: int, repeats: int) -> int:
             "re-introduced a grid-size-dependent scan"
         )
 
+    adjacency_49k = bench_adjacency(build_base_state(128, 128, seed))
+    print(
+        f"adjacency guard: 128x128 ({adjacency_49k['nodes']} nodes, "
+        f"{adjacency_49k['edges']} edges) built in "
+        f"{adjacency_49k['seconds']:.3f} s (limit {ADJACENCY_SECONDS_LIMIT_49K})"
+    )
+    if adjacency_49k["seconds"] > ADJACENCY_SECONDS_LIMIT_49K:
+        failures.append(
+            f"batch adjacency at 49k nodes took {adjacency_49k['seconds']:.3f}s "
+            f"(limit {ADJACENCY_SECONDS_LIMIT_49K}s) — the vectorized bucket path "
+            "regressed toward the old per-node scan (~2.3s)"
+        )
+
+    tier_256 = bench_adjacency(build_base_state(256, 256, seed))
+    print(
+        f"per-edge guard: 256x256 ({tier_256['nodes']} nodes) "
+        f"{tier_256['per_edge_seconds'] * 1e9:.1f} ns/edge "
+        f"(limit {ADJACENCY_PER_EDGE_SECONDS_LIMIT * 1e9:.0f} ns)"
+    )
+    if tier_256["per_edge_seconds"] > ADJACENCY_PER_EDGE_SECONDS_LIMIT:
+        failures.append(
+            f"adjacency throughput on the 256x256 tier is "
+            f"{tier_256['per_edge_seconds']:.2e} s/edge "
+            f"(limit {ADJACENCY_PER_EDGE_SECONDS_LIMIT:.0e})"
+        )
+
     base = build_base_state(16, 16, seed)
     channel = bench_channel_overhead(base, holes, seed, repeats)
     print(
@@ -321,10 +445,16 @@ def smoke(holes: int, seed: int, repeats: int) -> int:
     return 1 if failures else 0
 
 
-def full(holes: int, seed: int, repeats: int, output: Path) -> int:
-    grids = [
-        run_grid(columns, rows, holes, seed, repeats) for columns, rows in GRID_SHAPES
-    ]
+def full(holes: int, seed: int, repeats: int, output: Path, include_large: bool) -> int:
+    shapes = list(GRID_SHAPES)
+    if include_large:
+        shapes.append(LARGE_GRID_SHAPE)
+    grids = []
+    for columns, rows in shapes:
+        # The top tiers run few rounds each; extra repeats only repeat the
+        # (dominant, already-stable) setup cost.
+        tier_repeats = repeats if columns * rows <= 128 * 128 else min(repeats, 3)
+        grids.append(run_grid(columns, rows, holes, seed, tier_repeats))
     smallest, largest = grids[0], grids[-1]
     ratio = (
         largest["rounds"]["per_round_seconds"]
@@ -333,15 +463,32 @@ def full(holes: int, seed: int, repeats: int, output: Path) -> int:
     channel = bench_channel_overhead(
         build_base_state(*GRID_SHAPES[0], seed), holes, seed, repeats
     )
+    failures = []
+    if include_large:
+        large = grids[-1]
+        if large["deploy"]["seconds"] > DEPLOY_SECONDS_LIMIT_786K:
+            failures.append(
+                f"deploying the {LARGE_GRID_SHAPE[0]}x{LARGE_GRID_SHAPE[1]} tier "
+                f"({large['deploy']['nodes']} nodes) took "
+                f"{large['deploy']['seconds']:.2f}s (limit {DEPLOY_SECONDS_LIMIT_786K}s)"
+            )
+        if large["adjacency"]["per_edge_seconds"] > ADJACENCY_PER_EDGE_SECONDS_LIMIT:
+            failures.append(
+                f"adjacency throughput on the largest tier is "
+                f"{large['adjacency']['per_edge_seconds']:.2e} s/edge "
+                f"(limit {ADJACENCY_PER_EDGE_SECONDS_LIMIT:.0e})"
+            )
     report = {
         "benchmark": "bench_scale",
         "description": (
             "SR recovery per-round cost and state-query cost at equal hole "
             "count across grid sizes; per_round_ratio_largest_vs_smallest ~2x "
-            "or less means round cost is grid-size independent, and "
+            "or less means round cost is grid-size independent, "
             "channel_overhead.overhead_ratio <= 1.2 means the control-message "
             "channel adds no meaningful per-round cost on the default perfect "
-            "model"
+            "model, and the per-tier deploy/adjacency columns track the "
+            "vectorized struct-of-arrays paths (per-edge seconds are the "
+            "throughput of the batch adjacency build)"
         ),
         "scheme": "SR",
         "nodes_per_cell": NODES_PER_CELL,
@@ -356,13 +503,16 @@ def full(holes: int, seed: int, repeats: int, output: Path) -> int:
         "channel_overhead": channel,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nper-round cost 128x128 vs 16x16: {ratio:.2f}x")
+    largest_label = f"{shapes[-1][0]}x{shapes[-1][1]}"
+    print(f"\nper-round cost {largest_label} vs 16x16: {ratio:.2f}x")
     print(
         f"perfect-channel overhead vs channel-less rounds: "
         f"{channel['overhead_ratio']:.3f}x (limit {CHANNEL_OVERHEAD_LIMIT})"
     )
     print(f"[written to {output}]")
-    return 0
+    for failure in failures:
+        print(f"BENCH FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -370,7 +520,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="CI mode: smallest grid only, plus the query-scaling regression guard",
+        help="CI mode: smallest grid only, plus the regression guards",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "include the 512x512 (~786k node) tier in the report; local runs "
+            "only — it needs a few GB of RAM and a couple of minutes"
+        ),
     )
     parser.add_argument("--holes", type=int, default=DEFAULT_HOLES)
     parser.add_argument("--seed", type=int, default=2008)
@@ -386,7 +544,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         return smoke(args.holes, args.seed, args.repeats)
-    return full(args.holes, args.seed, args.repeats, args.output)
+    return full(args.holes, args.seed, args.repeats, args.output, args.full)
 
 
 if __name__ == "__main__":

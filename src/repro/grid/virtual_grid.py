@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.grid.geometry import BoundingBox, Point
 
 #: Ratio between the communication range and the cell side that guarantees
@@ -117,6 +119,7 @@ class VirtualGrid:
         self._rows = int(rows)
         self._cell_size = float(cell_size)
         self._origin = origin
+        self._coord_cache: Optional[List[GridCoord]] = None
 
     # ------------------------------------------------------------------ shape
     @property
@@ -212,6 +215,38 @@ class VirtualGrid:
         for y in range(self._rows):
             for x in range(self._columns):
                 yield GridCoord(x, y)
+
+    def coord_list(self) -> List[GridCoord]:
+        """All cell addresses in row-major order, cached.
+
+        The list is indexable by the *flat cell index* (``y * columns + x``)
+        used by the struct-of-arrays state, so ``coord_list()[flat]`` is the
+        inverse of :meth:`flat_index`.
+        """
+        if self._coord_cache is None:
+            self._coord_cache = list(self.all_coords())
+        return self._coord_cache
+
+    def flat_index(self, coord: GridCoord) -> int:
+        """Flat row-major index of ``coord`` (``y * columns + x``)."""
+        return coord.y * self._columns + coord.x
+
+    def coord_at(self, flat_index: int) -> GridCoord:
+        """The cell address for a flat row-major index (inverse of :meth:`flat_index`)."""
+        return self.coord_list()[flat_index]
+
+    def cell_indices(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of` over position arrays -> flat ``int32`` indices.
+
+        Mirrors :meth:`cell_of` exactly (truncating division, then clamping
+        boundary points into the last row/column) but does **not** re-check
+        the surveillance-area bounds — callers validate positions first.
+        """
+        x = ((xs - self._origin.x) / self._cell_size).astype(np.int32)
+        y = ((ys - self._origin.y) / self._cell_size).astype(np.int32)
+        np.clip(x, 0, self._columns - 1, out=x)
+        np.clip(y, 0, self._rows - 1, out=y)
+        return y * np.int32(self._columns) + x
 
     def neighbours(self, coord: GridCoord) -> List[GridCoord]:
         """The 4-neighbourhood of ``coord`` restricted to cells inside the grid.

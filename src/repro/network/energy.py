@@ -30,12 +30,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.network.node import (
     MESSAGE_COST,
     MOVE_COST_PER_METER,
+    ROLE_CODES,
+    STATE_CODES,
     NodeRole,
     NodeState,
 )
+
+_ENABLED = STATE_CODES[NodeState.ENABLED]
+_DEPLETED = STATE_CODES[NodeState.DEPLETED]
+_HEAD = ROLE_CODES[NodeRole.HEAD]
+_SPARE = ROLE_CODES[NodeRole.SPARE]
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float sum, identical to Python's ``sum()`` over a list."""
+    return float(np.cumsum(values)[-1]) if len(values) else 0.0
 
 
 @dataclass(frozen=True)
@@ -83,13 +97,28 @@ class EnergyModel:
         nodes drained below it by earlier movement) is disabled with reason
         :attr:`~repro.network.node.NodeState.DEPLETED`.  Returns the ids of
         the disabled nodes, in ascending order, so callers can log them.
+
+        On an array-backed state the drain is one masked array operation;
+        the clamp (``max(0, e - cost)``) matches the node-level
+        ``consume_energy`` bit-for-bit.
         """
-        depleted: List[int] = []
-        for node in state.enabled_nodes():
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            mask = arrays.state == _ENABLED
             if self.idle_cost_per_round:
-                node.consume_energy(self.idle_cost_per_round)
-            if node.energy <= self.depletion_threshold:
-                depleted.append(node.node_id)
+                arrays.energy[mask] = np.maximum(
+                    0.0, arrays.energy[mask] - self.idle_cost_per_round
+                )
+            depleted = arrays.node_ids[
+                mask & (arrays.energy <= self.depletion_threshold)
+            ].tolist()
+        else:
+            depleted = []
+            for node in state.enabled_nodes():
+                if self.idle_cost_per_round:
+                    node.consume_energy(self.idle_cost_per_round)
+                if node.energy <= self.depletion_threshold:
+                    depleted.append(node.node_id)
         for node_id in depleted:
             state.disable_node(node_id, reason=NodeState.DEPLETED)
         return sorted(depleted)
@@ -131,8 +160,44 @@ class EnergySummary:
         return self.max_energy - self.min_energy
 
 
+def _energy_summary_arrays(arrays) -> EnergySummary:
+    """Array-backed :func:`energy_summary` (totals summed left-to-right)."""
+    initial = arrays.initial_energy
+    energy = arrays.energy
+    enabled = arrays.state == _ENABLED
+    enabled_energy = energy[enabled]
+    head_energy = energy[enabled & (arrays.role == _HEAD)]
+    spare_energy = energy[enabled & (arrays.role == _SPARE)]
+    depleted = int(
+        ((arrays.state == _DEPLETED) | (enabled & (energy <= 0.0))).sum()
+    )
+    count = len(enabled_energy)
+    total = _sequential_sum(enabled_energy)
+    return EnergySummary(
+        enabled_nodes=count,
+        total_energy=total,
+        mean_energy=total / count if count else 0.0,
+        min_energy=float(enabled_energy.min()) if count else 0.0,
+        max_energy=float(enabled_energy.max()) if count else 0.0,
+        depleted_nodes=depleted,
+        head_mean_energy=(
+            _sequential_sum(head_energy) / len(head_energy) if len(head_energy) else 0.0
+        ),
+        spare_mean_energy=(
+            _sequential_sum(spare_energy) / len(spare_energy)
+            if len(spare_energy)
+            else 0.0
+        ),
+        initial_energy_total=_sequential_sum(initial),
+        total_consumed=_sequential_sum(np.maximum(0.0, initial - energy)),
+    )
+
+
 def energy_summary(state) -> EnergySummary:
     """Summarise the battery state of ``state`` (see :class:`EnergySummary`)."""
+    arrays = getattr(state, "arrays", None)
+    if arrays is not None:
+        return _energy_summary_arrays(arrays)
     initial_total = 0.0
     consumed = 0.0
     depleted = 0
@@ -169,6 +234,10 @@ def energy_summary(state) -> EnergySummary:
 
 def remaining_energy(state) -> Tuple[float, int]:
     """``(total remaining joules, count)`` over the enabled nodes of ``state``."""
+    arrays = getattr(state, "arrays", None)
+    if arrays is not None:
+        enabled_energy = arrays.energy[arrays.state == _ENABLED]
+        return _sequential_sum(enabled_energy), len(enabled_energy)
     total = 0.0
     count = 0
     for node in state.enabled_nodes():

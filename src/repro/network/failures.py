@@ -21,13 +21,24 @@ The module has two layers:
 from __future__ import annotations
 
 import abc
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.grid.geometry import BoundingBox, Point
 from repro.grid.virtual_grid import GridCoord
 from repro.network.node import NodeState
+
+
+def _enabled_ids(state) -> List[int]:
+    """Enabled node ids in deployment order, without materialising handles."""
+    fast = getattr(state, "enabled_node_ids", None)
+    if fast is not None:
+        return fast()
+    return [node.node_id for node in state.enabled_nodes()]
 
 
 class FailureModel(abc.ABC):
@@ -62,7 +73,7 @@ class RandomFailure(FailureModel):
 
     def apply(self, state, rng: random.Random) -> List[int]:
         """Disable the sampled victims and return their ids."""
-        enabled_ids = [node.node_id for node in state.enabled_nodes()]
+        enabled_ids = _enabled_ids(state)
         if self.probability is not None:
             victims = [node_id for node_id in enabled_ids if rng.random() < self.probability]
         else:
@@ -91,7 +102,7 @@ class ThinningToEnabledCount(FailureModel):
 
     def apply(self, state, rng: random.Random) -> List[int]:
         """Disable random nodes until only ``target_enabled`` remain enabled."""
-        enabled_ids = [node.node_id for node in state.enabled_nodes()]
+        enabled_ids = _enabled_ids(state)
         excess = len(enabled_ids) - self.target_enabled
         if excess <= 0:
             return []
@@ -139,11 +150,41 @@ class RegionJammingFailure(FailureModel):
 
     def apply(self, state, rng: random.Random) -> List[int]:
         """Disable every enabled node whose position lies inside the region."""
-        victims = [
-            node.node_id
-            for node in state.enabled_nodes()
-            if self._is_inside(node.position)
-        ]
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            mask = arrays.enabled_mask()
+            xs = arrays.positions[mask, 0]
+            ys = arrays.positions[mask, 1]
+            ids = arrays.node_ids[mask]
+            if self.box is not None:
+                inside = (
+                    (self.box.min_x <= xs)
+                    & (xs <= self.box.max_x)
+                    & (self.box.min_y <= ys)
+                    & (ys <= self.box.max_y)
+                )
+                victims = ids[inside].tolist()
+            else:
+                assert self.center is not None and self.radius is not None
+                dx = xs - self.center.x
+                dy = ys - self.center.y
+                # Bounding-square prefilter, then the exact math.hypot test the
+                # scalar Point.distance_to path uses, so the boundary cases
+                # resolve bit-identically to the object path.
+                near = (np.abs(dx) <= self.radius) & (np.abs(dy) <= self.radius)
+                victims = [
+                    int(node_id)
+                    for node_id, ddx, ddy in zip(
+                        ids[near].tolist(), dx[near].tolist(), dy[near].tolist()
+                    )
+                    if math.hypot(ddx, ddy) <= self.radius
+                ]
+        else:
+            victims = [
+                node.node_id
+                for node in state.enabled_nodes()
+                if self._is_inside(node.position)
+            ]
         for node_id in victims:
             state.disable_node(node_id, reason=self.reason)
         return victims
@@ -162,13 +203,25 @@ class TargetedCellFailure(FailureModel):
 
     def apply(self, state, rng: random.Random) -> List[int]:
         """Disable every enabled node located in one of the target cells."""
-        victims: List[int] = []
         target_cells = set(self.cells)
         for coord in target_cells:
             state.grid.validate_coord(coord)
-        for node in state.enabled_nodes():
-            if state.grid.cell_of(node.position) in target_cells:
-                victims.append(node.node_id)
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            # The state maintains each node's flat cell index, so the victim
+            # scan is a single membership test over the enabled rows.
+            flats = np.array(
+                sorted(state.grid.flat_index(coord) for coord in target_cells),
+                dtype=arrays.cell.dtype,
+            )
+            mask = arrays.enabled_mask() & np.isin(arrays.cell, flats)
+            victims = arrays.node_ids[mask].tolist()
+        else:
+            victims = [
+                node.node_id
+                for node in state.enabled_nodes()
+                if state.grid.cell_of(node.position) in target_cells
+            ]
         for node_id in victims:
             state.disable_node(node_id, reason=self.reason)
         return victims
@@ -188,11 +241,16 @@ class BatteryDepletionFailure(FailureModel):
 
     def apply(self, state, rng: random.Random) -> List[int]:
         """Disable every enabled node at or below the energy threshold."""
-        victims = [
-            node.node_id
-            for node in state.enabled_nodes()
-            if node.energy <= self.threshold
-        ]
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            mask = arrays.enabled_mask() & (arrays.energy <= self.threshold)
+            victims = arrays.node_ids[mask].tolist()
+        else:
+            victims = [
+                node.node_id
+                for node in state.enabled_nodes()
+                if node.energy <= self.threshold
+            ]
         for node_id in victims:
             state.disable_node(node_id, reason=self.reason)
         return victims

@@ -5,12 +5,19 @@ working status.  Following the paper, nodes that have failed or misbehave are
 *disabled* and excluded from the collaboration; the remaining *enabled* nodes
 constitute the WSN.  Within each virtual-grid cell one enabled node is
 elected *grid head* and the others are *spare* nodes.
+
+Since the struct-of-arrays refactor, :class:`SensorNode` is a thin *handle*:
+a node can be **unbound** (a standalone object holding its own fields, as
+before) or **bound** to a row of a :class:`~repro.network.node_arrays.NodeArrays`
+store, in which case energy/state/role/move accounting reads and writes go
+straight to the backing numpy arrays.  The public API is identical in both
+modes, so controllers, the engine, and metrics never need to know which kind
+of node they hold.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.grid.geometry import Point
@@ -38,6 +45,25 @@ class NodeRole(enum.Enum):
     UNASSIGNED = "unassigned"
 
 
+#: int8 codes used by the struct-of-arrays store (``NodeArrays.state``).
+STATE_CODES = {
+    NodeState.ENABLED: 0,
+    NodeState.FAILED: 1,
+    NodeState.MISBEHAVING: 2,
+    NodeState.DEPLETED: 3,
+}
+#: Reverse mapping: ``STATE_BY_CODE[code]`` is the :class:`NodeState`.
+STATE_BY_CODE = tuple(sorted(STATE_CODES, key=STATE_CODES.get))
+
+#: int8 codes used by the struct-of-arrays store (``NodeArrays.role``).
+ROLE_CODES = {
+    NodeRole.UNASSIGNED: 0,
+    NodeRole.HEAD: 1,
+    NodeRole.SPARE: 2,
+}
+#: Reverse mapping: ``ROLE_BY_CODE[code]`` is the :class:`NodeRole`.
+ROLE_BY_CODE = tuple(sorted(ROLE_CODES, key=ROLE_CODES.get))
+
 #: Default battery capacity in joules.  The exact value is irrelevant to the
 #: paper's experiments; it only matters for the battery-depletion failure
 #: model and the energy accounting extension.
@@ -50,10 +76,14 @@ MOVE_COST_PER_METER = 1.0
 #: Energy cost of transmitting one control message (joules).
 MESSAGE_COST = 0.01
 
+#: Maximum number of past positions :meth:`SensorNode.relocate` retains when
+#: history recording is requested.  History is opt-in (``record_history=True``)
+#: and bounded, so lifetime runs no longer pay an O(total-moves) memory tax.
+POSITION_HISTORY_LIMIT = 64
 
-@dataclass
+
 class SensorNode:
-    """A single sensor device.
+    """A single sensor device (possibly a view onto a ``NodeArrays`` row).
 
     Attributes
     ----------
@@ -75,29 +105,197 @@ class SensorNode:
         Total distance moved so far, in metres.
     move_count:
         Number of relocation moves performed so far.
+    position_history:
+        Up to :data:`POSITION_HISTORY_LIMIT` past positions, recorded only on
+        ``relocate(..., record_history=True)`` calls (empty by default).
     """
 
-    node_id: int
-    position: Point
-    state: NodeState = NodeState.ENABLED
-    role: NodeRole = NodeRole.UNASSIGNED
-    energy: float = DEFAULT_BATTERY_CAPACITY
-    initial_energy: Optional[float] = None
-    moved_distance: float = 0.0
-    move_count: int = 0
-    position_history: List[Point] = field(default_factory=list)
+    __slots__ = (
+        "node_id",
+        "_arrays",
+        "_row",
+        "_position",
+        "_state",
+        "_role",
+        "_energy",
+        "_initial_energy",
+        "_moved_distance",
+        "_move_count",
+        "_history",
+    )
 
-    def __post_init__(self) -> None:
-        if self.node_id < 0:
-            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
-        if self.energy < 0:
-            raise ValueError(f"energy must be non-negative, got {self.energy}")
-        if self.initial_energy is None:
-            self.initial_energy = self.energy
-        elif self.initial_energy < 0:
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        state: NodeState = NodeState.ENABLED,
+        role: NodeRole = NodeRole.UNASSIGNED,
+        energy: float = DEFAULT_BATTERY_CAPACITY,
+        initial_energy: Optional[float] = None,
+        moved_distance: float = 0.0,
+        move_count: int = 0,
+        position_history: Optional[List[Point]] = None,
+    ) -> None:
+        if node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {node_id}")
+        if energy < 0:
+            raise ValueError(f"energy must be non-negative, got {energy}")
+        if initial_energy is None:
+            initial_energy = energy
+        elif initial_energy < 0:
             raise ValueError(
-                f"initial_energy must be non-negative, got {self.initial_energy}"
+                f"initial_energy must be non-negative, got {initial_energy}"
             )
+        self.node_id = node_id
+        self._arrays = None
+        self._row = -1
+        self._position = position
+        self._state = state
+        self._role = role
+        self._energy = energy
+        self._initial_energy = initial_energy
+        self._moved_distance = moved_distance
+        self._move_count = move_count
+        self._history = list(position_history) if position_history else None
+
+    # ------------------------------------------------------------- array view
+    @classmethod
+    def _bound(cls, arrays, row: int) -> "SensorNode":
+        """Create a handle reading/writing row ``row`` of ``arrays``."""
+        node = cls.__new__(cls)
+        node.node_id = int(arrays.node_ids[row])
+        node._arrays = arrays
+        node._row = row
+        node._position = Point(
+            float(arrays.positions[row, 0]), float(arrays.positions[row, 1])
+        )
+        node._state = None
+        node._role = None
+        node._energy = 0.0
+        node._initial_energy = 0.0
+        node._moved_distance = 0.0
+        node._move_count = 0
+        node._history = None
+        return node
+
+    def _bind(self, arrays, row: int) -> None:
+        """Attach this (already array-snapshotted) node to its backing row."""
+        self._arrays = arrays
+        self._row = row
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def position(self) -> Point:
+        """Current location in the surveillance plane (metres)."""
+        return self._position
+
+    @position.setter
+    def position(self, value: Point) -> None:
+        """Set the location, writing through to the backing arrays when bound."""
+        self._position = value
+        if self._arrays is not None:
+            self._arrays.positions[self._row, 0] = value.x
+            self._arrays.positions[self._row, 1] = value.y
+
+    @property
+    def state(self) -> NodeState:
+        """Whether the node is enabled or disabled (failed / misbehaving)."""
+        if self._arrays is not None:
+            return STATE_BY_CODE[self._arrays.state[self._row]]
+        return self._state
+
+    @state.setter
+    def state(self, value: NodeState) -> None:
+        """Set the working status (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.state[self._row] = STATE_CODES[value]
+        else:
+            self._state = value
+
+    @property
+    def role(self) -> NodeRole:
+        """Head / spare role within the node's current cell."""
+        if self._arrays is not None:
+            return ROLE_BY_CODE[self._arrays.role[self._row]]
+        return self._role
+
+    @role.setter
+    def role(self, value: NodeRole) -> None:
+        """Set the cell role (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.role[self._row] = ROLE_CODES[value]
+        else:
+            self._role = value
+
+    @property
+    def energy(self) -> float:
+        """Remaining battery energy in joules."""
+        if self._arrays is not None:
+            return float(self._arrays.energy[self._row])
+        return self._energy
+
+    @energy.setter
+    def energy(self, value: float) -> None:
+        """Set the remaining battery energy (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.energy[self._row] = value
+        else:
+            self._energy = value
+
+    @property
+    def initial_energy(self) -> float:
+        """Battery capacity the node started with."""
+        if self._arrays is not None:
+            return float(self._arrays.initial_energy[self._row])
+        return self._initial_energy
+
+    @initial_energy.setter
+    def initial_energy(self, value: float) -> None:
+        """Set the starting battery capacity (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.initial_energy[self._row] = value
+        else:
+            self._initial_energy = value
+
+    @property
+    def moved_distance(self) -> float:
+        """Total distance moved so far, in metres."""
+        if self._arrays is not None:
+            return float(self._arrays.moved_distance[self._row])
+        return self._moved_distance
+
+    @moved_distance.setter
+    def moved_distance(self, value: float) -> None:
+        """Set the cumulative moved distance (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.moved_distance[self._row] = value
+        else:
+            self._moved_distance = value
+
+    @property
+    def move_count(self) -> int:
+        """Number of relocation moves performed so far."""
+        if self._arrays is not None:
+            return int(self._arrays.move_count[self._row])
+        return self._move_count
+
+    @move_count.setter
+    def move_count(self, value: int) -> None:
+        """Set the cumulative move count (array-backed when bound)."""
+        if self._arrays is not None:
+            self._arrays.move_count[self._row] = value
+        else:
+            self._move_count = value
+
+    @property
+    def position_history(self) -> List[Point]:
+        """Recorded past positions (empty unless history recording was used)."""
+        return self._history if self._history is not None else []
+
+    @position_history.setter
+    def position_history(self, value: Optional[List[Point]]) -> None:
+        """Replace the recorded history (``None``/empty clears it)."""
+        self._history = list(value) if value else None
 
     # ------------------------------------------------------------------ state
     @property
@@ -148,12 +346,16 @@ class SensorNode:
             raise RuntimeError(
                 f"node {self.node_id} has a depleted battery and cannot move"
             )
-        distance = self.position.distance_to(target)
+        distance = self._position.distance_to(target)
         if record_history:
-            self.position_history.append(self.position)
+            if self._history is None:
+                self._history = []
+            self._history.append(self._position)
+            if len(self._history) > POSITION_HISTORY_LIMIT:
+                del self._history[: len(self._history) - POSITION_HISTORY_LIMIT]
         self.position = target
-        self.moved_distance += distance
-        self.move_count += 1
+        self.moved_distance = self.moved_distance + distance
+        self.move_count = self.move_count + 1
         self.consume_energy(distance * cost_per_meter)
         return distance
 
@@ -187,7 +389,7 @@ class SensorNode:
 
     # ------------------------------------------------------------------ copy
     def copy(self) -> "SensorNode":
-        """Independent copy of the node (positions are immutable and shared)."""
+        """Independent (unbound) copy of the node's current field values."""
         return SensorNode(
             node_id=self.node_id,
             position=self.position,
@@ -197,7 +399,22 @@ class SensorNode:
             initial_energy=self.initial_energy,
             moved_distance=self.moved_distance,
             move_count=self.move_count,
-            position_history=list(self.position_history),
+            position_history=list(self._history) if self._history else None,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SensorNode):
+            return NotImplemented
+        return (
+            self.node_id == other.node_id
+            and self.position == other.position
+            and self.state is other.state
+            and self.role is other.role
+            and self.energy == other.energy
+            and self.initial_energy == other.initial_energy
+            and self.moved_distance == other.moved_distance
+            and self.move_count == other.move_count
+            and self.position_history == other.position_history
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.grid.geometry import Point
 from repro.grid.virtual_grid import GAF_RANGE_FACTOR, cell_side_for_range
+from repro.network.adjacency import adjacency_lists, build_edges
 from repro.network.node import SensorNode
 
 
@@ -61,59 +62,36 @@ class UnitDiskRadio:
         """Adjacency lists (by node id, ascending) over the enabled nodes.
 
         Nodes are hashed into square buckets of side ``R``, so two nodes in
-        range always fall into the same or an adjacent bucket.  Distances are
-        then computed vectorised per bucket pair, which keeps both time and
-        memory proportional to the number of *local* pairs instead of the
-        dense ``N x N`` matrix — 50k-node deployments stay tractable.
+        range always fall into the same or an adjacent bucket; candidate
+        pairs are generated and distance-filtered fully vectorised (see
+        :func:`repro.network.adjacency.build_edges`), which keeps both time
+        and memory proportional to the number of *local* pairs instead of
+        the dense ``N x N`` matrix — million-node deployments stay tractable.
         """
         enabled = [n for n in nodes if n.is_enabled]
         if not enabled:
             return {}
-        ids = np.array([n.node_id for n in enabled])
+        ids = np.array([n.node_id for n in enabled], dtype=np.int64)
         xs = np.array([n.position.x for n in enabled])
         ys = np.array([n.position.y for n in enabled])
-        inverse = 1.0 / self.communication_range
-        bucket_x = np.floor(xs * inverse).astype(np.int64)
-        bucket_y = np.floor(ys * inverse).astype(np.int64)
-        buckets: Dict[Tuple[int, int], List[int]] = {}
-        for index, key in enumerate(zip(bucket_x.tolist(), bucket_y.tolist())):
-            buckets.setdefault(key, []).append(index)
+        left, right = build_edges(xs, ys, self.communication_range)
+        return adjacency_lists(ids, left, right)
 
-        limit_sq = self.communication_range * self.communication_range + 1e-9
-        adjacency: Dict[int, List[int]] = {node_id: [] for node_id in ids.tolist()}
+    def adjacency_of_state(self, state) -> Dict[int, List[int]]:
+        """:meth:`adjacency` over a ``WsnState``, straight from its arrays.
 
-        def link(indices_a: np.ndarray, indices_b: np.ndarray) -> None:
-            """Record the bidirectional link for each paired node index."""
-            for i, j in zip(indices_a.tolist(), indices_b.tolist()):
-                adjacency[ids[i]].append(int(ids[j]))
-                adjacency[ids[j]].append(int(ids[i]))
-
-        # Each unordered bucket pair is visited once: the bucket itself plus
-        # four "forward" neighbours; the remaining four directions are covered
-        # when the neighbouring bucket takes its turn.
-        forward_offsets = ((1, 0), (0, 1), (1, 1), (1, -1))
-        for (cell_x, cell_y), members in buckets.items():
-            local = np.array(members)
-            # Pairs within the bucket (i < j once; link() adds both directions).
-            if len(members) > 1:
-                diff_x = xs[local][:, None] - xs[local][None, :]
-                diff_y = ys[local][:, None] - ys[local][None, :]
-                close = diff_x * diff_x + diff_y * diff_y <= limit_sq
-                rows, cols = np.nonzero(np.triu(close, k=1))
-                link(local[rows], local[cols])
-            for offset_x, offset_y in forward_offsets:
-                other = buckets.get((cell_x + offset_x, cell_y + offset_y))
-                if not other:
-                    continue
-                remote = np.array(other)
-                diff_x = xs[local][:, None] - xs[remote][None, :]
-                diff_y = ys[local][:, None] - ys[remote][None, :]
-                close = diff_x * diff_x + diff_y * diff_y <= limit_sq
-                rows, cols = np.nonzero(close)
-                link(local[rows], remote[cols])
-        for neighbours in adjacency.values():
-            neighbours.sort()
-        return adjacency
+        Skips handle materialisation entirely, so this is the path to use on
+        large states (the ``bench_scale`` adjacency tiers measure it).
+        """
+        arrays = state.arrays
+        mask = arrays.enabled_mask()
+        ids = arrays.node_ids[mask]
+        if len(ids) == 0:
+            return {}
+        xs = arrays.positions[mask, 0]
+        ys = arrays.positions[mask, 1]
+        left, right = build_edges(xs, ys, self.communication_range)
+        return adjacency_lists(ids, left, right)
 
     def link_pairs(self, nodes: Sequence[SensorNode]) -> List[Tuple[int, int]]:
         """Undirected communication links among enabled nodes as ``(id_a, id_b)`` pairs."""

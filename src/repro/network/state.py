@@ -9,6 +9,15 @@ enforces the virtual-grid invariants of Section 2:
 * a vacant cell (no enabled node) has no head,
 * the head of a cell is always one of the enabled nodes located in that cell.
 
+Node storage is struct-of-arrays: every per-node field lives in a
+:class:`~repro.network.node_arrays.NodeArrays` column (``self.arrays``), and
+:class:`~repro.network.node.SensorNode` objects handed out by :meth:`node`,
+:meth:`members_of`, etc. are cached *handles* bound to array rows.  The
+vectorized hot paths — adjacency construction, deployment, the per-round
+energy sweep, coverage — read the arrays directly and stay bit-for-bit
+equivalent to the former array-of-objects implementation (see the golden
+seed-identity test).
+
 The per-round queries every controller depends on — holes, spares,
 occupancy — are served from *incremental indices* maintained by the three
 mutation paths (:meth:`WsnState.disable_node`, :meth:`WsnState.enable_node`,
@@ -20,25 +29,78 @@ mutation paths (:meth:`WsnState.disable_node`, :meth:`WsnState.enable_node`,
 * ``_vacant`` — the live set of vacant cells, making :attr:`hole_count`
   O(1) and :meth:`vacant_cells` O(holes);
 * ``_spare_total`` — the running network-wide spare count, making
-  :attr:`spare_count` O(1).
+  :attr:`spare_count` O(1);
+* ``arrays.cell`` — the flat cell index of every node, kept in lock-step
+  with the node's position by :meth:`move_node`.
+
+An optional :class:`~repro.network.adjacency.NeighborIndex` can be attached
+with :meth:`attach_neighbor_index`; the mutation paths then update radio
+neighbourhoods incrementally instead of forcing per-query rebuilds.
 
 Round cost therefore scales with the number of holes and moves, not with the
 ``m*n`` grid size.  :meth:`check_invariants` is the oracle for this contract:
-it rebuilds every index from scratch from the node list and asserts the
-incremental copies agree (see DESIGN.md, "The state-index contract").
+it rebuilds every index from scratch from the arrays and asserts the
+incremental copies (including the cell column and any attached neighbour
+index) agree (see DESIGN.md, "The state-index contract").
 """
 
 from __future__ import annotations
 
 import random
 from bisect import bisect_left, insort
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Union
+
+import numpy as np
 
 from repro.grid.geometry import Point
 from repro.grid.head_election import HeadElectionPolicy, elect_head, lowest_id_policy
 from repro.grid.virtual_grid import GridCoord, VirtualGrid
+from repro.network.adjacency import NeighborIndex
 from repro.network.mobility import MovementModel, MoveRecord
 from repro.network.node import NodeRole, NodeState, SensorNode
+from repro.network.node_arrays import (
+    ENABLED_CODE,
+    HEAD_CODE,
+    SPARE_CODE,
+    NodeArrays,
+)
+
+
+def _validate_population(grid: VirtualGrid, arrays: NodeArrays) -> None:
+    """Reject duplicate ids and out-of-bounds positions.
+
+    Mirrors the per-node validation loop of the array-of-objects
+    implementation: whichever offence appears first in deployment order is
+    reported (duplicate-id checks ran before bounds checks for each node).
+    """
+    node_ids = arrays.node_ids
+    order = np.argsort(node_ids, kind="stable")
+    sorted_ids = node_ids[order]
+    duplicate_rows = order[1:][sorted_ids[1:] == sorted_ids[:-1]]
+    first_duplicate = int(duplicate_rows.min()) if len(duplicate_rows) else None
+
+    bounds = grid.bounds
+    xs = arrays.positions[:, 0]
+    ys = arrays.positions[:, 1]
+    tolerance = 1e-9
+    outside = (
+        (xs < bounds.min_x - tolerance)
+        | (xs > bounds.max_x + tolerance)
+        | (ys < bounds.min_y - tolerance)
+        | (ys > bounds.max_y + tolerance)
+    )
+    first_outside = int(np.argmax(outside)) if outside.any() else None
+
+    if first_duplicate is not None and (
+        first_outside is None or first_duplicate <= first_outside
+    ):
+        raise ValueError(f"duplicate node id {int(node_ids[first_duplicate])}")
+    if first_outside is not None:
+        raise ValueError(
+            f"node {int(node_ids[first_outside])} at "
+            f"({float(xs[first_outside])}, {float(ys[first_outside])}) lies outside "
+            "the surveillance area"
+        )
 
 
 class WsnState:
@@ -49,7 +111,10 @@ class WsnState:
     grid:
         The virtual grid partition of the surveillance area.
     nodes:
-        All deployed nodes (enabled and disabled).  Node ids must be unique.
+        All deployed nodes (enabled and disabled) — either an iterable of
+        :class:`SensorNode` objects (which become bound handles onto the
+        state's arrays) or a ready-made :class:`NodeArrays` store.  Node ids
+        must be unique.
     head_policy:
         Election policy used whenever a cell needs a (new) head.
     movement_model:
@@ -60,53 +125,70 @@ class WsnState:
     def __init__(
         self,
         grid: VirtualGrid,
-        nodes: Iterable[SensorNode],
+        nodes: Union[NodeArrays, Iterable[SensorNode]],
         head_policy: Optional[HeadElectionPolicy] = None,
         movement_model: Optional[MovementModel] = None,
     ) -> None:
         self.grid = grid
         self._head_policy = head_policy or lowest_id_policy
         self.movement_model = movement_model or MovementModel(grid)
-        self._nodes: Dict[int, SensorNode] = {}
-        for node in nodes:
-            if node.node_id in self._nodes:
-                raise ValueError(f"duplicate node id {node.node_id}")
-            if not grid.bounds.contains(node.position, tolerance=1e-9):
-                raise ValueError(
-                    f"node {node.node_id} at {node.position.as_tuple()} lies outside "
-                    "the surveillance area"
-                )
-            self._nodes[node.node_id] = node
-        self._cell_members: Dict[GridCoord, List[int]] = {
-            coord: [] for coord in grid.all_coords()
-        }
-        self._heads: Dict[GridCoord, Optional[int]] = {
-            coord: None for coord in grid.all_coords()
-        }
-        for node in self._nodes.values():
-            if node.is_enabled:
-                self._cell_members[self.grid.cell_of(node.position)].append(
-                    node.node_id
-                )
+        self._handles: Dict[int, SensorNode] = {}
+        if isinstance(nodes, NodeArrays):
+            arrays = nodes
+        else:
+            node_list = list(nodes)
+            arrays = NodeArrays.from_nodes(node_list)
+        _validate_population(grid, arrays)
+        self.arrays = arrays
+        if not isinstance(nodes, NodeArrays):
+            # Existing node objects become bound handles so caller-held
+            # references keep observing (and mutating) the live state.
+            for row, node in enumerate(node_list):
+                node._bind(arrays, row)
+                self._handles[node.node_id] = node
+        arrays.cell[:] = grid.cell_indices(
+            arrays.positions[:, 0], arrays.positions[:, 1]
+        )
+        self._neighbor_index: Optional[NeighborIndex] = None
+        self._rebuild_indices_from_arrays()
+        self.elect_all_heads()
+
+    # ---------------------------------------------------- vectorized index init
+    def _rebuild_indices_from_arrays(self) -> None:
+        """Build membership/occupancy/vacancy indices in a few array passes."""
+        arrays = self.arrays
+        coords = self.grid.coord_list()
+        cell_count = len(coords)
+        mask = arrays.enabled_mask()
+        enabled_cells = arrays.cell[mask]
+        enabled_ids = arrays.node_ids[mask]
+        counts = np.bincount(enabled_cells, minlength=cell_count)
         # Build the counters in one pass instead of via _index_add so the
         # vacant set is allocated at its true size: a set pre-seeded with all
         # m*n cells and then discarded down never shrinks its hash table, and
         # every later iteration of it (vacant_cells is a per-round query)
         # would silently stay O(m*n).
-        self._occupancy: Dict[GridCoord, int] = {}
-        self._vacant: Set[GridCoord] = set()
-        self._spare_total = 0
-        self._enabled_total = 0
-        for coord, members in self._cell_members.items():
-            members.sort()
-            count = len(members)
-            self._occupancy[coord] = count
-            self._enabled_total += count
-            if count == 0:
-                self._vacant.add(coord)
-            else:
-                self._spare_total += count - 1
-        self.elect_all_heads()
+        self._occupancy: Dict[GridCoord, int] = dict(zip(coords, counts.tolist()))
+        self._vacant: Set[GridCoord] = {
+            coords[flat] for flat in np.flatnonzero(counts == 0).tolist()
+        }
+        self._enabled_total = int(mask.sum())
+        occupied_cells = cell_count - len(self._vacant)
+        self._spare_total = self._enabled_total - occupied_cells
+        self._cell_members: Dict[GridCoord, List[int]] = {
+            coord: [] for coord in coords
+        }
+        if len(enabled_ids):
+            grouping = np.lexsort((enabled_ids, enabled_cells))
+            sorted_cells = enabled_cells[grouping]
+            sorted_ids = enabled_ids[grouping].tolist()
+            boundaries = np.flatnonzero(sorted_cells[1:] != sorted_cells[:-1]) + 1
+            starts = np.concatenate(([0], boundaries)).tolist()
+            ends = np.concatenate((boundaries, [len(sorted_cells)])).tolist()
+            group_cells = sorted_cells[np.array(starts, dtype=np.int64)].tolist()
+            cell_members = self._cell_members
+            for flat, start, end in zip(group_cells, starts, ends):
+                cell_members[coords[flat]] = sorted_ids[start:end]
 
     # ----------------------------------------------------- index maintenance
     def _index_add(self, coord: GridCoord, node_id: int) -> None:
@@ -139,25 +221,39 @@ class WsnState:
 
     # ------------------------------------------------------------------ nodes
     def node(self, node_id: int) -> SensorNode:
-        """Look up a node by id (:class:`KeyError` if unknown)."""
-        return self._nodes[node_id]
+        """Handle for a node by id (:class:`KeyError` if unknown).
+
+        Handles are created lazily and cached, so repeated lookups return the
+        identical object (callers may compare by identity, as before).
+        """
+        handle = self._handles.get(node_id)
+        if handle is None:
+            row = self.arrays.row_of(node_id)
+            handle = SensorNode._bound(self.arrays, row)
+            self._handles[node_id] = handle
+        return handle
 
     def nodes(self) -> Iterator[SensorNode]:
-        """All deployed nodes, enabled or not."""
-        return iter(self._nodes.values())
+        """All deployed nodes, enabled or not, in deployment order."""
+        return (self.node(node_id) for node_id in self.arrays.node_ids.tolist())
+
+    def enabled_node_ids(self) -> List[int]:
+        """Ids of all enabled nodes, in deployment order (no handle creation)."""
+        return self.arrays.node_ids[self.arrays.enabled_mask()].tolist()
 
     def enabled_nodes(self) -> List[SensorNode]:
         """All nodes currently participating in the collaboration."""
-        return [node for node in self._nodes.values() if node.is_enabled]
+        return [self.node(node_id) for node_id in self.enabled_node_ids()]
 
     def disabled_nodes(self) -> List[SensorNode]:
         """All nodes that are not enabled (failed, misbehaving, or depleted)."""
-        return [node for node in self._nodes.values() if not node.is_enabled]
+        disabled = self.arrays.node_ids[~self.arrays.enabled_mask()]
+        return [self.node(node_id) for node_id in disabled.tolist()]
 
     @property
     def node_count(self) -> int:
         """Total number of deployed nodes."""
-        return len(self._nodes)
+        return len(self.arrays)
 
     @property
     def enabled_count(self) -> int:
@@ -166,8 +262,8 @@ class WsnState:
 
     # ------------------------------------------------------------------ cells
     def cell_of_node(self, node_id: int) -> GridCoord:
-        """Cell currently containing the node (by its position)."""
-        return self.grid.cell_of(self.node(node_id).position)
+        """Cell currently containing the node (an O(1) read of the cell column)."""
+        return self.grid.coord_at(int(self.arrays.cell[self.arrays.row_of(node_id)]))
 
     def members_of(self, coord: GridCoord) -> List[SensorNode]:
         """Enabled nodes currently located in cell ``coord``, in id order.
@@ -176,7 +272,7 @@ class WsnState:
         plain lookup — no per-call re-sort.
         """
         self.grid.validate_coord(coord)
-        return [self._nodes[node_id] for node_id in self._cell_members[coord]]
+        return [self.node(node_id) for node_id in self._cell_members[coord]]
 
     def member_count(self, coord: GridCoord) -> int:
         """Number of enabled nodes in ``coord`` (an O(1) read of the occupancy index)."""
@@ -187,13 +283,13 @@ class WsnState:
         """The grid head of ``coord``, or ``None`` when the cell is vacant."""
         self.grid.validate_coord(coord)
         head_id = self._heads[coord]
-        return None if head_id is None else self._nodes[head_id]
+        return None if head_id is None else self.node(head_id)
 
     def spares_of(self, coord: GridCoord) -> List[SensorNode]:
         """Enabled non-head nodes in ``coord`` (the cell's spare nodes), in id order."""
         head_id = self._heads[self.grid.validate_coord(coord)]
         return [
-            self._nodes[node_id]
+            self.node(node_id)
             for node_id in self._cell_members[coord]
             if node_id != head_id
         ]
@@ -246,18 +342,40 @@ class WsnState:
         """Spare-node count for every cell."""
         return {coord: max(0, count - 1) for coord, count in self._occupancy.items()}
 
+    # ------------------------------------------------------- adjacency index
+    @property
+    def neighbor_index(self) -> Optional[NeighborIndex]:
+        """The attached incremental radio-neighbourhood index, if any."""
+        return self._neighbor_index
+
+    def attach_neighbor_index(self, radio) -> NeighborIndex:
+        """Build and attach a :class:`NeighborIndex` for ``radio``.
+
+        The mutation paths keep it up to date incrementally; detach with
+        :meth:`detach_neighbor_index` when radio parameters change.
+        """
+        self._neighbor_index = NeighborIndex(self, radio)
+        return self._neighbor_index
+
+    def detach_neighbor_index(self) -> None:
+        """Drop the attached neighbour index (if any)."""
+        self._neighbor_index = None
+
     # ---------------------------------------------------------------- changes
     def disable_node(self, node_id: int, reason: NodeState = NodeState.FAILED) -> None:
         """Disable a node and repair the head assignment of its cell."""
         node = self.node(node_id)
         if not node.is_enabled:
             return
-        coord = self.grid.cell_of(node.position)
+        row = self.arrays.row_of(node_id)
+        coord = self.grid.coord_at(int(self.arrays.cell[row]))
         node.disable(reason)
         self._index_remove(coord, node_id)
         if self._heads[coord] == node_id:
             self._heads[coord] = None
             self._elect_cell_head(coord)
+        if self._neighbor_index is not None:
+            self._neighbor_index.on_disable(row)
 
     def enable_node(self, node_id: int) -> None:
         """Re-admit a previously disabled node (extension; not used by the paper)."""
@@ -265,9 +383,12 @@ class WsnState:
         if node.is_enabled:
             return
         node.enable()
-        coord = self.grid.cell_of(node.position)
+        row = self.arrays.row_of(node_id)
+        coord = self.grid.coord_at(int(self.arrays.cell[row]))
         self._index_add(coord, node_id)
         self._elect_cell_head(coord)
+        if self._neighbor_index is not None:
+            self._neighbor_index.on_enable(row)
 
     def move_node(
         self,
@@ -288,7 +409,8 @@ class WsnState:
         node = self.node(node_id)
         if not node.is_enabled:
             raise RuntimeError(f"cannot move disabled node {node_id}")
-        source_cell = self.grid.cell_of(node.position)
+        row = self.arrays.row_of(node_id)
+        source_cell = self.grid.coord_at(int(self.arrays.cell[row]))
         self.grid.validate_coord(target_cell)
         if enforce_adjacent and not source_cell.is_neighbour_of(target_cell):
             raise ValueError(
@@ -304,6 +426,7 @@ class WsnState:
             process_id=process_id,
             target_position=target_position,
         )
+        self.arrays.cell[row] = self.grid.flat_index(target_cell)
         self._index_remove(source_cell, node_id)
         self._index_add(target_cell, node_id)
         if self._heads[source_cell] == node_id:
@@ -311,6 +434,8 @@ class WsnState:
             self._elect_cell_head(source_cell)
         node.role = NodeRole.UNASSIGNED
         self._elect_cell_head(target_cell)
+        if self._neighbor_index is not None:
+            self._neighbor_index.on_move(row)
         return record
 
     # ----------------------------------------------------------------- heads
@@ -320,7 +445,7 @@ class WsnState:
         if current_head_id is not None and any(
             node.node_id == current_head_id for node in members
         ):
-            head = self._nodes[current_head_id]
+            head = self.node(current_head_id)
         else:
             head = elect_head(members, self.grid.cell_center(coord), self._head_policy)
             self._heads[coord] = None if head is None else head.node_id
@@ -330,10 +455,37 @@ class WsnState:
             head.role = NodeRole.HEAD
         return head
 
+    def _elect_all_heads_lowest_id(self) -> None:
+        """Vectorized fresh election under the default lowest-id policy.
+
+        Equivalent to running :meth:`_elect_cell_head` over every cell with
+        empty ``_heads``: every member becomes a spare, the smallest member id
+        of each occupied cell becomes head, and disabled nodes keep their
+        roles (they are never members).
+        """
+        arrays = self.arrays
+        arrays.role[arrays.enabled_mask()] = SPARE_CODE
+        heads = self._heads
+        head_ids: List[int] = []
+        for coord, members in self._cell_members.items():
+            if members:
+                head_id = members[0]
+                heads[coord] = head_id
+                head_ids.append(head_id)
+        if head_ids:
+            rows = arrays.rows_of(np.asarray(head_ids, dtype=np.int64))
+            arrays.role[rows] = HEAD_CODE
+
     def elect_all_heads(self) -> None:
         """(Re-)elect the head of every cell from scratch-consistent membership."""
-        for coord in self.grid.all_coords():
-            self._elect_cell_head(coord)
+        self._heads: Dict[GridCoord, Optional[int]] = dict.fromkeys(
+            self.grid.coord_list()
+        )
+        if self._head_policy is lowest_id_policy:
+            self._elect_all_heads_lowest_id()
+        else:
+            for coord in self.grid.all_coords():
+                self._elect_cell_head(coord)
 
     def rotate_head(self, coord: GridCoord) -> Optional[SensorNode]:
         """Force a fresh election in ``coord`` (head-rotation extension)."""
@@ -347,36 +499,43 @@ class WsnState:
 
     def head_nodes(self) -> List[SensorNode]:
         """All current grid heads."""
-        return [self._nodes[h] for h in self._heads.values() if h is not None]
+        return [self.node(h) for h in self._heads.values() if h is not None]
 
     # -------------------------------------------------------------- accounting
     @property
     def total_moved_distance(self) -> float:
-        """Total distance moved by all nodes since deployment (metres)."""
-        return sum(node.moved_distance for node in self._nodes.values())
+        """Total distance moved by all nodes since deployment (metres).
+
+        Summed left-to-right (``cumsum``) so the float result is identical to
+        the sequential ``sum()`` over nodes in deployment order.
+        """
+        moved = self.arrays.moved_distance
+        return float(np.cumsum(moved)[-1]) if len(moved) else 0.0
 
     @property
     def total_move_count(self) -> int:
         """Total number of relocation moves since deployment."""
-        return sum(node.move_count for node in self._nodes.values())
+        return int(self.arrays.move_count.sum())
 
     # ------------------------------------------------------------------ misc
     def clone(self) -> "WsnState":
         """Independent copy of the state, for running several schemes on one scenario.
 
         This is an explicit structural copy, not ``copy.deepcopy``: the grid,
-        head policy, and movement model are immutable and shared, the nodes
-        are copied one by one, and the incremental indices are copied
-        container-by-container.  Sweep fan-out over one scenario therefore
-        pays O(nodes + cells) per clone instead of a full recursive deepcopy.
+        head policy, and movement model are immutable and shared, the node
+        arrays are copied column-by-column, and the incremental indices are
+        copied container-by-container.  Handles are re-created lazily on the
+        clone (position histories, a debug aid, are not carried over), and an
+        attached neighbour index is not cloned — attach a fresh one if the
+        clone needs it.  Sweep fan-out over one scenario therefore pays
+        O(nodes + cells) per clone instead of a full recursive deepcopy.
         """
         twin = WsnState.__new__(WsnState)
         twin.grid = self.grid
         twin._head_policy = self._head_policy
         twin.movement_model = self.movement_model
-        twin._nodes = {
-            node_id: node.copy() for node_id, node in self._nodes.items()
-        }
+        twin.arrays = self.arrays.copy()
+        twin._handles = {}
         twin._cell_members = {
             coord: list(members) for coord, members in self._cell_members.items()
         }
@@ -385,6 +544,7 @@ class WsnState:
         twin._vacant = set(self._vacant)
         twin._spare_total = self._spare_total
         twin._enabled_total = self._enabled_total
+        twin._neighbor_index = None
         return twin
 
     def check_invariants(self) -> None:
@@ -392,17 +552,28 @@ class WsnState:
 
         This is the oracle of the state-index contract: every incremental
         index (membership lists, occupancy counters, vacant set, spare and
-        enabled totals) is compared against a from-scratch rebuild derived
-        from the node list, and the head invariants of Section 2 are checked
-        on top.
+        enabled totals, the per-node cell column, and any attached neighbour
+        index) is compared against a from-scratch rebuild derived from the
+        node arrays, and the head invariants of Section 2 are checked on top.
         """
+        arrays = self.arrays
         rebuilt: Dict[GridCoord, List[int]] = {
             coord: [] for coord in self.grid.all_coords()
         }
         enabled_total = 0
-        for node in self._nodes.values():
-            if node.is_enabled:
-                rebuilt[self.grid.cell_of(node.position)].append(node.node_id)
+        node_ids = arrays.node_ids.tolist()
+        xs = arrays.positions[:, 0].tolist()
+        ys = arrays.positions[:, 1].tolist()
+        states = arrays.state.tolist()
+        cells = arrays.cell.tolist()
+        for row, node_id in enumerate(node_ids):
+            coord = self.grid.cell_of(Point(xs[row], ys[row]))
+            assert cells[row] == self.grid.flat_index(coord), (
+                f"cell column of node {node_id} is {cells[row]}, position "
+                f"says {self.grid.flat_index(coord)}"
+            )
+            if states[row] == ENABLED_CODE:
+                rebuilt[coord].append(node_id)
                 enabled_total += 1
         assert self._enabled_total == enabled_total, (
             f"enabled total {self._enabled_total} != rebuilt {enabled_total}"
@@ -439,6 +610,8 @@ class WsnState:
         assert self._spare_total == spare_total, (
             f"spare total {self._spare_total} != rebuilt {spare_total}"
         )
+        if self._neighbor_index is not None:
+            self._neighbor_index.check_consistency()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

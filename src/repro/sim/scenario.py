@@ -17,6 +17,8 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.grid.head_election import (
     HeadElectionPolicy,
     highest_energy_policy,
@@ -167,20 +169,33 @@ def build_scenario_state(config: ScenarioConfig) -> WsnState:
     grid = config.make_grid()
     deploy_rng = derive_rng(config.seed, "deployment")
     if config.deployment == "uniform":
-        nodes = deploy_uniform(grid, config.deployed_count, deploy_rng)
+        arrays = deploy_uniform(grid, config.deployed_count, deploy_rng, as_arrays=True)
     else:
         # __post_init__ guarantees deployed_count is a positive multiple of
         # the cell count, so this deploys exactly deployed_count nodes.
-        nodes = deploy_per_cell(grid, config.deployed_count // config.cell_count, deploy_rng)
-    state = WsnState(grid, nodes, head_policy=config.head_policy_fn)
+        arrays = deploy_per_cell(
+            grid, config.deployed_count // config.cell_count, deploy_rng, as_arrays=True
+        )
+    state = WsnState(grid, arrays, head_policy=config.head_policy_fn)
     if config.target_enabled is not None:
         thinning = ThinningToEnabledCount(target_enabled=config.target_enabled)
         thinning.apply(state, derive_rng(config.seed, "thinning"))
     if config.initial_energy is not None:
+        # Batched battery install: the per-node jitter draws happen in the
+        # historical node order, the affine transform is vectorized, and the
+        # result is written straight into the energy columns (matching the
+        # per-node ``reset_energy`` calls bit-for-bit).
         energy_rng = derive_rng(config.seed, "energy")
-        for node in state.nodes():
-            capacity = config.initial_energy
-            if config.initial_energy_jitter:
-                capacity *= 1.0 - config.initial_energy_jitter * energy_rng.random()
-            node.reset_energy(capacity)
+        arrays = state.arrays
+        if config.initial_energy_jitter:
+            draws = np.asarray(
+                [energy_rng.random() for _ in range(len(arrays))], dtype=np.float64
+            )
+            capacities = config.initial_energy * (
+                1.0 - config.initial_energy_jitter * draws
+            )
+        else:
+            capacities = np.full(len(arrays), config.initial_energy, dtype=np.float64)
+        arrays.energy[:] = capacities
+        arrays.initial_energy[:] = capacities
     return state
