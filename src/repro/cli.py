@@ -148,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(available_schemes()),
         help="schemes to run",
     )
+    _add_shards_argument(compare)
     _add_execution_arguments(compare)
 
     lifetime = subparsers.add_parser(
@@ -224,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the CI smoke gate (fixed workload, determinism + physics checks) "
         "instead of the configured experiment",
     )
+    _add_shards_argument(lifetime)
     _add_execution_arguments(lifetime)
 
     scenario = subparsers.add_parser(
@@ -262,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
     )
     _add_channel_argument(run)
+    _add_shards_argument(run)
     _add_execution_arguments(run)
 
     sweep = scenario_sub.add_parser(
@@ -285,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--csv-dir", type=Path, default=None, help="also write the table as CSV here"
     )
+    _add_shards_argument(sweep)
     _add_execution_arguments(sweep)
 
     docs = scenario_sub.add_parser(
@@ -342,6 +346,20 @@ def _add_channel_argument(parser: argparse.ArgumentParser) -> None:
         help="control-channel model: 'perfect' (default), 'lossy:<p>', or "
         "'delayed:<k>'; the 'jammed' kind is configured through a scenario "
         "file's [channel] table",
+    )
+
+
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--shards`` knob of the simulation-running commands."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distribute each run over N column-band worker processes; "
+        "results are byte-identical to unsharded execution (same cache "
+        "entries), and runs the sharded fast path cannot reproduce fall "
+        "back to the sequential engine automatically",
     )
 
 
@@ -490,6 +508,7 @@ def _compare_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_rounds=args.max_rounds,
             channel=args.channel,
+            shards=args.shards or 1,
         )
         for scheme in args.schemes
     ]
@@ -567,6 +586,7 @@ def _lifetime_command(args: argparse.Namespace) -> int:
             max_rounds=args.max_rounds,
             executor=executor,
             cache=cache,
+            shards=args.shards or 1,
         )
     except ValueError as error:
         print(f"lifetime: {error}", file=sys.stderr)
@@ -608,6 +628,8 @@ def _resolve_cli_scenario(args: argparse.Namespace) -> Scenario:
         scenario = dataclasses.replace(scenario, trials=args.trials)
     if getattr(args, "channel", None) is not None:
         scenario = dataclasses.replace(scenario, channel=args.channel)
+    if getattr(args, "shards", None) is not None:
+        scenario = dataclasses.replace(scenario, shards=args.shards)
     return scenario
 
 

@@ -98,6 +98,7 @@ def build_lifetime_specs(
     energy: EnergyModel = LIFETIME_ENERGY,
     trials: int = 1,
     max_rounds: int = 1500,
+    shards: int = 1,
 ) -> List[RunSpec]:
     """The lifetime sweep's run specs in deterministic (trial, scheme) order.
 
@@ -105,6 +106,11 @@ def build_lifetime_specs(
     thinning, and battery-jitter seed), so all schemes start from identical
     networks and battery placements — the comparison is purely about how long
     each scheme keeps that network alive.
+
+    ``shards`` is plumbed through for CLI uniformity; results are identical
+    at any value (it never enters the cache key).  Note that energy-model
+    runs are ineligible for the sharded fast path, so today's lifetime specs
+    execute sequentially regardless.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -138,6 +144,7 @@ def build_lifetime_specs(
                     max_rounds=max_rounds,
                     energy=energy,
                     run_to_exhaustion=True,
+                    shards=shards,
                 )
             )
     return specs
@@ -151,6 +158,7 @@ def run_lifetime_experiment(
     max_rounds: int = 1500,
     executor: Optional[RunExecutor] = None,
     cache: Optional[RunCache] = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Run every scheme to network death and tabulate lifetimes.
 
@@ -166,7 +174,12 @@ def run_lifetime_experiment(
     config = config if config is not None else LIFETIME_CONFIG
     energy = energy if energy is not None else LIFETIME_ENERGY
     specs = build_lifetime_specs(
-        config, schemes=schemes, energy=energy, trials=trials, max_rounds=max_rounds
+        config,
+        schemes=schemes,
+        energy=energy,
+        trials=trials,
+        max_rounds=max_rounds,
+        shards=shards,
     )
     records = execute_many(specs, executor=executor, cache=cache)
 

@@ -1,0 +1,132 @@
+"""Spatial partitioning of the virtual grid into contiguous column-band tiles.
+
+The sharded engine (:mod:`repro.sim.sharded`) simulates one grid across
+several workers.  The unit of distribution is a :class:`Tile`: a contiguous
+band of grid columns (the tile *region*, owned exclusively by one worker)
+plus a *halo* of neighbouring columns one radio range wide on each side.
+The halo is wide enough that every cell a worker reads while deciding the
+fate of an *owned* vacancy — the cycle predecessor it recruits from, the
+cells a cascade notification targets — lies inside the worker's replica,
+and that any node moved by a neighbouring worker is visible before it can
+influence an owned decision (cascades travel one cell per round, so a halo
+of ``ceil(R / r)`` columns buys ``ceil(R / r)`` rounds of advance notice).
+
+Column bands (rather than 2-D blocks) keep the exchange pattern linear:
+every tile has at most two neighbours, and the round barrier merges tiles
+in index order, which is what makes the sharded merge deterministic.
+
+Tiles narrower than the halo cannot guarantee the containment property, so
+:func:`partition_columns` *falls back* to the largest feasible shard count
+instead of producing unsound tiles (a 1-tile partition is always feasible
+and degenerates to the unsharded engine).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.grid.virtual_grid import VirtualGrid
+
+__all__ = ["Tile", "halo_columns", "feasible_shards", "partition_columns"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One contiguous column band of the grid plus its halo.
+
+    Attributes
+    ----------
+    index:
+        Position of the tile in the left-to-right band order (the merge
+        order of the round barrier).
+    x_start, x_stop:
+        Owned column range ``[x_start, x_stop)``.  Every grid column belongs
+        to exactly one tile's owned range.
+    halo_start, halo_stop:
+        Column range ``[halo_start, halo_stop)`` of the tile's replica
+        coverage: the owned band widened by the halo on each side, clamped
+        to the grid.
+    """
+
+    index: int
+    x_start: int
+    x_stop: int
+    halo_start: int
+    halo_stop: int
+
+    @property
+    def width(self) -> int:
+        """Number of owned columns."""
+        return self.x_stop - self.x_start
+
+    def owns_column(self, x: int) -> bool:
+        """Whether column ``x`` is in the tile's owned band."""
+        return self.x_start <= x < self.x_stop
+
+    def covers_column(self, x: int) -> bool:
+        """Whether column ``x`` is in the tile's replica coverage (owned + halo)."""
+        return self.halo_start <= x < self.halo_stop
+
+
+def halo_columns(grid: VirtualGrid, radio_range: Optional[float] = None) -> int:
+    """Halo width in columns: one radio range, rounded up to whole cells.
+
+    ``radio_range`` defaults to the GAF range the grid's overlay assumes
+    (``R = sqrt(5) * r``), giving a 3-column halo.
+    """
+    if radio_range is None:
+        radio_range = grid.required_communication_range
+    if radio_range <= 0:
+        raise ValueError(f"radio_range must be positive, got {radio_range}")
+    return max(1, math.ceil(radio_range / grid.cell_size - 1e-9))
+
+
+def feasible_shards(
+    grid: VirtualGrid, shards: int, radio_range: Optional[float] = None
+) -> int:
+    """The largest shard count ``<= shards`` whose tiles are all halo-wide.
+
+    Every owned band must be at least as wide as the halo, otherwise a
+    cascade could cross a whole tile between two barriers and the replica
+    containment argument breaks.  ``floor(columns / k) >= halo`` bounds the
+    feasible ``k``; 1 is always feasible.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    halo = halo_columns(grid, radio_range)
+    return max(1, min(shards, grid.columns // halo))
+
+
+def partition_columns(
+    grid: VirtualGrid, shards: int, radio_range: Optional[float] = None
+) -> List[Tile]:
+    """Split the grid into ``shards`` contiguous column-band tiles.
+
+    The requested count is first clamped with :func:`feasible_shards`; the
+    surviving bands differ in width by at most one column (the remainder is
+    spread over the leftmost tiles), so uneven grids partition without
+    starving any worker.  The result is deterministic: equal inputs always
+    produce the identical tile list.
+    """
+    count = feasible_shards(grid, shards, radio_range)
+    halo = halo_columns(grid, radio_range)
+    base, remainder = divmod(grid.columns, count)
+    tiles: List[Tile] = []
+    start = 0
+    for index in range(count):
+        width = base + (1 if index < remainder else 0)
+        stop = start + width
+        tiles.append(
+            Tile(
+                index=index,
+                x_start=start,
+                x_stop=stop,
+                halo_start=max(0, start - halo),
+                halo_stop=min(grid.columns, stop + halo),
+            )
+        )
+        start = stop
+    assert start == grid.columns
+    return tiles

@@ -181,9 +181,15 @@ class RoundBasedEngine:
                 )
 
     # -------------------------------------------------------------------- run
+    #
+    # ``run()`` is a template over small per-phase hooks so an alternative
+    # driver (the sharded engine) can substitute *where* round work happens
+    # — worker tiles instead of ``self.state`` — while reusing this exact
+    # control flow: the round ordering, the series sampling, and the
+    # stop/stall/exhaustion verdicts are defined once, here.
     def run(self) -> SimulationResult:
         """Execute rounds until coverage is restored, the run stalls, or the bound hits."""
-        initial = snapshot_state(self.state)
+        initial = self._begin_run()
         self._emit(
             EventKind.HOLE_DETECTED,
             round_index=0,
@@ -199,17 +205,10 @@ class RoundBasedEngine:
         track_energy = self.energy_model is not None
 
         for round_index in range(self.max_rounds):
-            self._inject_failures(round_index)
-            round_depletions = self._apply_energy(round_index)
+            round_depletions = self._pre_round(round_index)
             sent_before, dropped_before = self._channel_counters()
-            if self.channel is not None:
-                # Control messages sent in earlier rounds arrive now, before
-                # any head acts — the paper's one-round-latency assumption,
-                # generalised to whatever the channel model dictates.
-                inbox = self.channel.deliver(round_index)
-                if inbox:
-                    self.controller.handle_messages(self.state, inbox, round_index)
-            outcome = self.controller.execute_round(self.state, self.rng, round_index)
+            self._deliver_messages(round_index)
+            outcome = self._controller_round(round_index)
             outcomes.append(outcome)
             rounds_executed = round_index + 1
             self._emit_outcome(outcome)
@@ -219,11 +218,11 @@ class RoundBasedEngine:
             # arbitrarily large grids.  The energy total is an O(enabled)
             # sweep, sampled only when an energy model is active.
             series.record(
-                holes=self.state.hole_count,
+                holes=self._hole_count(),
                 moves=outcome.move_count,
                 distance=outcome.total_distance,
-                spares=self.state.spare_count,
-                energy=remaining_energy(self.state)[0] if track_energy else None,
+                spares=self._spare_count(),
+                energy=self._energy_remaining() if track_energy else None,
                 depletions=round_depletions if track_energy else None,
                 messages=(
                     sent_after - sent_before
@@ -245,7 +244,7 @@ class RoundBasedEngine:
                 and not self._failures_pending(round_index)
                 and not self._messaging_pending()
             ):
-                if self.state.hole_count > 0:
+                if self._hole_count() > 0:
                     # Holes remain and nobody has acted on them for the whole
                     # idle window: the run is stuck, in every mode.
                     stalled = True
@@ -258,15 +257,13 @@ class RoundBasedEngine:
         else:
             exhausted = True
 
-        if exhausted and self.state.hole_count > 0:
+        if exhausted and self._hole_count() > 0:
             # The round bound hit with holes remaining: the run did not
             # converge and must not look like a clean finish.
             stalled = True
 
         final_round = rounds_executed
-        finalize = getattr(self.controller, "finalize", None)
-        if callable(finalize):
-            finalize(self.state, final_round)
+        self._finish_run(final_round)
         if self.channel is not None:
             # The channel is the authority on traffic: every actual
             # transmission (requests, retries, acknowledgements) counts.
@@ -277,22 +274,18 @@ class RoundBasedEngine:
             messages_sent = sum(outcome.messages_sent for outcome in outcomes)
             messages_dropped = 0
             mean_latency = 0.0
-        metrics = collect_metrics(
-            self.controller,
-            self.state,
+        metrics = self._collect(
             initial,
             rounds_executed,
             messages_sent,
-            # The battery summary is an O(all nodes) sweep — worth it only
-            # when the run actually had energy physics to report on.
-            energy=energy_summary(self.state) if track_energy else None,
-            messages_dropped=messages_dropped,
-            mean_delivery_latency=mean_latency,
+            messages_dropped,
+            mean_latency,
+            track_energy,
         )
         self._emit(
             EventKind.SIMULATION_FINISHED,
             round_index=final_round,
-            holes=self.state.hole_count,
+            holes=self._hole_count(),
             moves=metrics.total_moves,
             distance=round(metrics.total_distance, 3),
         )
@@ -306,6 +299,77 @@ class RoundBasedEngine:
             event_log=self.event_log,
             depleted_nodes=list(self.depleted_nodes),
             channel_stats=self.channel.stats() if self.channel is not None else None,
+        )
+
+    # ----------------------------------------------------------- phase hooks
+    def _begin_run(self) -> InitialSnapshot:
+        """Snapshot the pre-run state the metrics are reported against."""
+        return snapshot_state(self.state)
+
+    def _pre_round(self, round_index: int) -> int:
+        """Start-of-round physics: scheduled failures, then the energy model.
+
+        Returns the number of nodes the energy model depleted this round.
+        """
+        self._inject_failures(round_index)
+        return self._apply_energy(round_index)
+
+    def _deliver_messages(self, round_index: int) -> None:
+        """Deliver the channel and hand arrivals to the controller.
+
+        Control messages sent in earlier rounds arrive now, before any head
+        acts — the paper's one-round-latency assumption, generalised to
+        whatever the channel model dictates.
+        """
+        if self.channel is None:
+            return
+        inbox = self.channel.deliver(round_index)
+        if inbox:
+            self.controller.handle_messages(self.state, inbox, round_index)
+
+    def _controller_round(self, round_index: int) -> RoundOutcome:
+        """Execute one controller round against the engine's state."""
+        return self.controller.execute_round(self.state, self.rng, round_index)
+
+    def _hole_count(self) -> int:
+        """Current number of uncovered cells."""
+        return self.state.hole_count
+
+    def _spare_count(self) -> int:
+        """Current number of spare nodes."""
+        return self.state.spare_count
+
+    def _energy_remaining(self) -> float:
+        """Total remaining energy of the enabled nodes (O(enabled) sweep)."""
+        return remaining_energy(self.state)[0]
+
+    def _finish_run(self, final_round: int) -> None:
+        """Let the controller settle its bookkeeping after the last round."""
+        finalize = getattr(self.controller, "finalize", None)
+        if callable(finalize):
+            finalize(self.state, final_round)
+
+    def _collect(
+        self,
+        initial: InitialSnapshot,
+        rounds_executed: int,
+        messages_sent: int,
+        messages_dropped: int,
+        mean_latency: float,
+        track_energy: bool,
+    ) -> RunMetrics:
+        """Aggregate the run's metrics from the final state."""
+        return collect_metrics(
+            self.controller,
+            self.state,
+            initial,
+            rounds_executed,
+            messages_sent,
+            # The battery summary is an O(all nodes) sweep — worth it only
+            # when the run actually had energy physics to report on.
+            energy=energy_summary(self.state) if track_energy else None,
+            messages_dropped=messages_dropped,
+            mean_delivery_latency=mean_latency,
         )
 
     # --------------------------------------------------------------- internal
@@ -385,7 +449,7 @@ class RoundBasedEngine:
         return self._last_scheduled_round > round_index
 
     def _finished(self, round_index: int) -> bool:
-        if self.state.hole_count > 0:
+        if self._hole_count() > 0:
             return False
         if self._failures_pending(round_index):
             return False

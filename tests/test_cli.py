@@ -101,6 +101,21 @@ class TestCompareCommand:
         output = capsys.readouterr().out
         assert "SR-energy" in output and "AR-energy" in output
 
+    def test_sharded_comparison_prints_identical_table(self, capsys):
+        workload = [
+            "compare",
+            "--columns", "8",
+            "--rows", "8",
+            "--deployed", "300",
+            "--spare-surplus", "30",
+            "--seed", "2",
+            "--schemes", "SR",
+        ]
+        assert main(workload) == 0
+        sequential = capsys.readouterr().out
+        assert main(workload + ["--shards", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
     def test_shortcut_scheme_available(self, capsys):
         code = main(
             [
@@ -173,6 +188,18 @@ class TestScenarioCommand:
         assert sweep.spares == [5, 10]
         assert parser.parse_args(["scenario", "docs"]).scenario_command == "docs"
 
+    def test_shards_flag_parses_on_every_runner(self):
+        parser = build_parser()
+        assert parser.parse_args(["compare", "--shards", "4"]).shards == 4
+        assert parser.parse_args(["lifetime", "--shards", "2"]).shards == 2
+        assert parser.parse_args(["scenario", "run", "paper-16x16", "--shards", "8"]).shards == 8
+        sharded_sweep = parser.parse_args(
+            ["scenario", "sweep", "edge-breach", "--spares", "5", "--shards", "2"]
+        )
+        assert sharded_sweep.shards == 2
+        # Default is None: leave whatever the scenario file configured alone.
+        assert parser.parse_args(["scenario", "run", "paper-16x16"]).shards is None
+
     def test_list_prints_every_catalog_entry(self, capsys):
         from repro.experiments.catalog import CATALOG_NAMES
 
@@ -210,6 +237,12 @@ class TestScenarioCommand:
         capsys.readouterr()
         assert main(["scenario", "run", str(path), "--cache-dir", str(cache_dir)]) == 0
         assert "[cache: 3 runs reused" in capsys.readouterr().out
+
+    def test_run_with_shards_override_matches_unsharded_output(self, capsys):
+        assert main(["scenario", "run", "corner-holes", "--smoke"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["scenario", "run", "corner-holes", "--smoke", "--shards", "4"]) == 0
+        assert capsys.readouterr().out == sequential
 
     def test_sweep_tabulates_per_spare_value(self, capsys):
         code = main(

@@ -1,0 +1,132 @@
+"""Property tests for the column-band partitioner behind the sharded engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.grid.virtual_grid import VirtualGrid, cell_side_for_range
+from repro.network.partition import (
+    Tile,
+    feasible_shards,
+    halo_columns,
+    partition_columns,
+)
+
+
+def _grid(columns: int, rows: int = 4) -> VirtualGrid:
+    return VirtualGrid(columns, rows, cell_side_for_range(10.0))
+
+
+class TestHaloColumns:
+    def test_default_radio_range_gives_three_columns(self):
+        # R = sqrt(5) * r, so R / r = sqrt(5) ~ 2.236 -> 3 columns.
+        assert halo_columns(_grid(16)) == 3
+
+    def test_exact_multiple_does_not_round_up(self):
+        grid = _grid(16)
+        assert halo_columns(grid, radio_range=2 * grid.cell_size) == 2
+
+    def test_tiny_range_clamps_to_one_column(self):
+        assert halo_columns(_grid(16), radio_range=0.01) == 1
+
+    def test_non_positive_range_rejected(self):
+        with pytest.raises(ValueError, match="radio_range"):
+            halo_columns(_grid(16), radio_range=0.0)
+
+
+class TestFeasibleShards:
+    def test_clamps_to_halo_wide_bands(self):
+        # 16 columns / 3-column halo -> at most 5 tiles.
+        assert feasible_shards(_grid(16), 8) == 5
+
+    def test_requested_count_kept_when_feasible(self):
+        assert feasible_shards(_grid(16), 4) == 4
+
+    def test_narrow_grid_falls_back_to_one(self):
+        # A 2-column grid cannot host even one halo-wide pair of tiles.
+        assert feasible_shards(_grid(2), 4) == 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            feasible_shards(_grid(16), 0)
+
+
+class TestPartitionColumns:
+    @pytest.mark.parametrize("columns", [6, 7, 13, 16, 31, 64])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_every_column_owned_exactly_once_in_order(self, columns, shards):
+        grid = _grid(columns)
+        tiles = partition_columns(grid, shards)
+        owned = [x for tile in tiles for x in range(tile.x_start, tile.x_stop)]
+        assert owned == list(range(columns))
+        assert [tile.index for tile in tiles] == list(range(len(tiles)))
+
+    @pytest.mark.parametrize("columns,shards", [(13, 4), (31, 8), (7, 3)])
+    def test_uneven_grids_balance_within_one_column(self, columns, shards):
+        widths = [tile.width for tile in partition_columns(_grid(columns), shards)]
+        assert max(widths) - min(widths) <= 1
+        # The remainder lands on the leftmost tiles.
+        assert widths == sorted(widths, reverse=True)
+
+    @pytest.mark.parametrize("columns", [6, 16, 64])
+    def test_halo_clamped_to_grid(self, columns):
+        grid = _grid(columns)
+        halo = halo_columns(grid)
+        for tile in partition_columns(grid, 4):
+            assert 0 <= tile.halo_start <= tile.x_start
+            assert tile.x_stop <= tile.halo_stop <= columns
+            if tile.x_start > 0:
+                assert tile.x_start - tile.halo_start == min(halo, tile.x_start)
+            if tile.x_stop < columns:
+                assert tile.halo_stop - tile.x_stop == min(halo, columns - tile.x_stop)
+
+    @pytest.mark.parametrize("columns,shards", [(16, 4), (16, 8), (64, 16), (7, 2)])
+    def test_owned_bands_at_least_halo_wide_when_sharded(self, columns, shards):
+        grid = _grid(columns)
+        tiles = partition_columns(grid, shards)
+        if len(tiles) >= 2:
+            halo = halo_columns(grid)
+            assert all(tile.width >= halo for tile in tiles)
+
+    def test_infeasible_request_falls_back_not_fails(self):
+        # 4 columns with a 3-column halo: 2 tiles would be 2 wide — unsound —
+        # so the partitioner degrades to a single tile.
+        tiles = partition_columns(_grid(4), 2)
+        assert len(tiles) == 1
+        assert tiles[0] == Tile(index=0, x_start=0, x_stop=4, halo_start=0, halo_stop=4)
+
+    def test_single_tile_degenerates_to_whole_grid(self):
+        grid = _grid(16)
+        (tile,) = partition_columns(grid, 1)
+        assert (tile.x_start, tile.x_stop) == (0, 16)
+        assert (tile.halo_start, tile.halo_stop) == (0, 16)
+
+    def test_deterministic(self):
+        grid = _grid(31)
+        assert partition_columns(grid, 5) == partition_columns(grid, 5)
+
+    def test_custom_radio_range_widens_halo(self):
+        grid = _grid(32)
+        wide = partition_columns(grid, 2, radio_range=5 * grid.cell_size)
+        assert wide[0].halo_stop - wide[0].x_stop == 5
+
+    def test_ownership_and_coverage_predicates(self):
+        grid = _grid(16)
+        tiles = partition_columns(grid, 4)
+        halo = halo_columns(grid)
+        for tile in tiles:
+            for x in range(16):
+                assert tile.owns_column(x) == (tile.x_start <= x < tile.x_stop)
+                assert tile.covers_column(x) == (tile.halo_start <= x < tile.halo_stop)
+        # Coverage width never exceeds owned width + two halos.
+        for tile in tiles:
+            assert tile.halo_stop - tile.halo_start <= tile.width + 2 * halo
+
+    def test_halo_width_matches_radio_range_ceiling(self):
+        grid = _grid(16)
+        for factor in (0.5, 1.0, 1.5, 2.0, 2.9):
+            radio_range = factor * grid.cell_size
+            expected = max(1, math.ceil(factor - 1e-9))
+            assert halo_columns(grid, radio_range=radio_range) == expected

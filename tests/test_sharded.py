@@ -1,0 +1,349 @@
+"""Sharded execution: byte-identity, eligibility, caching, and tile replicas.
+
+The headline contract of :class:`~repro.sim.sharded.ShardedEngine` is that a
+sharded run is *byte-identical* to the sequential one — same metrics, series,
+move records, and message traffic — so shard count is an execution option,
+never part of a run's identity.  The golden suite here re-runs every catalog
+scenario (smoke variant) at 2/4/8 shards against the sequential record; the
+cache test pins the corollary that sharded and unsharded specs share cache
+entries without a ``CACHE_FORMAT_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from helpers import make_hole
+from repro.core.hamilton import build_hamilton_cycle
+from repro.core.replacement import HamiltonReplacementController
+from repro.experiments.catalog import catalog_names, load_catalog_scenario
+from repro.experiments.orchestration import SerialExecutor, execute_many, execute_run
+from repro.experiments.persistence import CACHE_FORMAT_VERSION, RunCache
+from repro.experiments.registry import make_controller
+from repro.grid.geometry import Point
+from repro.grid.virtual_grid import GridCoord, VirtualGrid, cell_side_for_range
+from repro.network.channel import DEFAULT_CHANNEL, parse_channel_spec
+from repro.network.deployment import deploy_per_cell
+from repro.network.energy import EnergyModel
+from repro.network.state import WsnState
+from repro.sim.engine import RoundBasedEngine
+from repro.sim.rng import derive_rng
+from repro.sim.sharded import ShardedEngine
+
+SHARD_COUNTS = (2, 4, 8)
+
+
+def _state(columns: int = 16, rows: int = 16, per_cell: int = 2, seed: int = 7) -> WsnState:
+    grid = VirtualGrid(columns, rows, cell_side_for_range(10.0))
+    return WsnState(grid, deploy_per_cell(grid, per_cell, random.Random(seed)))
+
+
+def _engine(state=None, controller=None, shards: int = 4, **kwargs) -> ShardedEngine:
+    state = state if state is not None else _state()
+    controller = controller if controller is not None else make_controller("SR", state)
+    kwargs.setdefault("channel", DEFAULT_CHANNEL)
+    kwargs.setdefault("mode", "inline")
+    return ShardedEngine(state, controller, derive_rng(1, "test"), shards=shards, **kwargs)
+
+
+# --------------------------------------------------------------- golden suite
+class TestCatalogByteIdentity:
+    """Every catalog scenario, sharded at 2/4/8, against the sequential record."""
+
+    @pytest.mark.parametrize("name", sorted(catalog_names()))
+    def test_sharded_records_equal_sequential(self, name):
+        scenario = load_catalog_scenario(name).smoke_variant()
+        for spec in scenario.run_specs():
+            reference = execute_run(spec)
+            for shards in SHARD_COUNTS:
+                sharded_spec = dataclasses.replace(
+                    spec, shards=shards, shard_mode="inline"
+                )
+                record = execute_run(sharded_spec)
+                assert record == reference, (
+                    f"{name}/{spec.scheme} diverged at {shards} shards"
+                )
+
+    def test_fork_backend_matches_inline(self):
+        # One end-to-end check through real worker processes; determinism is
+        # backend-independent, so one scenario suffices (CI also exercises
+        # fork via `scenario run --shards`).
+        spec = load_catalog_scenario("paper-16x16").smoke_variant().run_specs()[0]
+        reference = execute_run(spec)
+        forked = execute_run(dataclasses.replace(spec, shards=2, shard_mode="fork"))
+        assert forked == reference
+
+
+# ------------------------------------------------------------------ run cache
+class TestShardsNeverEnterTheCacheKey:
+    def test_cache_format_version_unchanged(self):
+        # Sharding must not perturb stored records; a version bump here means
+        # the execution option leaked into the persisted format.
+        assert CACHE_FORMAT_VERSION == 4
+
+    def test_sharded_spec_hits_unsharded_cache_entry(self, tmp_path):
+        spec = load_catalog_scenario("corner-holes").smoke_variant().run_specs()[0]
+        cache = RunCache(tmp_path)
+        (first,) = execute_many([spec], executor=SerialExecutor(), cache=cache)
+        assert not first.cached
+
+        sharded_spec = dataclasses.replace(spec, shards=4, shard_mode="inline")
+        assert sharded_spec == spec
+        assert hash(sharded_spec) == hash(spec)
+        executor = SerialExecutor()
+        (second,) = execute_many([sharded_spec], executor=executor, cache=cache)
+        assert executor.runs_executed == 0
+        assert second.cached
+        assert second.metrics == first.metrics
+
+
+# ---------------------------------------------------------------- eligibility
+class TestEligibility:
+    def test_default_sr_run_is_eligible(self):
+        engine = _engine()
+        assert engine.ineligible_reason is None
+        assert engine.shards_effective == 4
+
+    def test_requested_count_clamped_to_feasible(self):
+        # 16 columns / 3-column halo -> at most 5 tiles.
+        assert _engine(shards=8).shards_effective == 5
+
+    def test_one_shard_requested(self):
+        engine = _engine(shards=1)
+        assert engine.ineligible_reason == "one shard requested"
+        assert engine.shards_effective == 1
+
+    def test_narrow_grid_cannot_shard(self):
+        engine = _engine(state=_state(columns=4, rows=4), shards=2)
+        assert "halo-wide tiles" in engine.ineligible_reason
+
+    def test_other_controllers_fall_back(self):
+        state = _state()
+        engine = _engine(state=state, controller=make_controller("AR", state))
+        assert "not plain SR" in engine.ineligible_reason
+
+    def test_random_spare_selection_falls_back(self):
+        state = _state()
+        controller = HamiltonReplacementController(
+            build_hamilton_cycle(state.grid), spare_selection="random"
+        )
+        assert "random spare selection" in _engine(state=state, controller=controller).ineligible_reason
+
+    def test_partial_activation_falls_back(self):
+        state = _state()
+        controller = HamiltonReplacementController(
+            build_hamilton_cycle(state.grid), activation_probability=0.5
+        )
+        assert "activation_probability" in _engine(state=state, controller=controller).ineligible_reason
+
+    def test_energy_model_falls_back(self):
+        engine = _engine(energy_model=EnergyModel(idle_cost_per_round=0.1))
+        assert "energy model" in engine.ineligible_reason
+
+    def test_non_default_channel_falls_back(self):
+        engine = _engine(channel=parse_channel_spec("lossy:0.5"))
+        assert "perfect channel" in engine.ineligible_reason
+
+    def test_legacy_no_channel_falls_back(self):
+        assert "no-channel" in _engine(channel=None).ineligible_reason
+
+    def test_unsafe_failure_model_falls_back(self):
+        class _UnsafeFailure:
+            shard_safe = False
+
+            def apply(self, state, rng):
+                return []
+
+        engine = _engine(failure_schedule={3: _UnsafeFailure()})
+        assert "not shard-safe" in engine.ineligible_reason
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            _engine(shards=0)
+        with pytest.raises(ValueError, match="mode"):
+            _engine(mode="threads")
+
+    def test_ineligible_engine_still_runs_sequentially(self):
+        state = _state(columns=4, rows=4)
+        make_hole(state, GridCoord(1, 1))
+        twin = _state(columns=4, rows=4)
+        make_hole(twin, GridCoord(1, 1))
+        sequential = RoundBasedEngine(
+            twin, make_controller("SR", twin), derive_rng(1, "test"), channel=DEFAULT_CHANNEL
+        ).run()
+        engine = _engine(state=state, shards=2)
+        assert engine.ineligible_reason is not None
+        assert engine.run() == sequential
+
+
+# ------------------------------------------------------- identity + telemetry
+class TestShardedRoundLoop:
+    def _paired(self, shards: int):
+        def build():
+            state = _state(seed=11)
+            for coord in (GridCoord(2, 3), GridCoord(9, 9), GridCoord(15, 0)):
+                make_hole(state, coord)
+            return state
+
+        seq_state = build()
+        sequential = RoundBasedEngine(
+            seq_state,
+            make_controller("SR", seq_state),
+            derive_rng(5, "paired"),
+            channel=DEFAULT_CHANNEL,
+        ).run()
+        shard_state = build()
+        engine = ShardedEngine(
+            shard_state,
+            make_controller("SR", shard_state),
+            derive_rng(5, "paired"),
+            shards=shards,
+            mode="inline",
+            channel=DEFAULT_CHANNEL,
+        )
+        return sequential, engine.run(), engine
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_initial_holes_recovered_identically(self, shards):
+        sequential, sharded, engine = self._paired(shards)
+        assert engine.ineligible_reason is None
+        assert sharded == sequential
+        assert sharded.metrics.final_holes == 0
+
+    def test_timing_telemetry_populated(self):
+        _, _, engine = self._paired(2)
+        timing = engine.timing
+        assert timing["rounds"] > 0
+        assert timing["decide_seconds"] > 0
+        assert timing["critical_seconds"] > 0
+        # The critical path can never exceed what a serial replay would pay.
+        serial_total = (
+            timing["tile_run_sum"]
+            + timing["tile_apply_sum"]
+            + timing["decide_seconds"]
+            + timing["bookkeep_seconds"]
+        )
+        assert timing["critical_seconds"] <= serial_total + 1e-9
+
+    def test_final_state_matches_sequential(self):
+        import numpy as np
+
+        def build():
+            state = _state(seed=13)
+            make_hole(state, GridCoord(7, 7))
+            return state
+
+        seq_state = build()
+        RoundBasedEngine(
+            seq_state,
+            make_controller("SR", seq_state),
+            derive_rng(2, "state"),
+            channel=DEFAULT_CHANNEL,
+        ).run()
+        shard_state = build()
+        ShardedEngine(
+            shard_state,
+            make_controller("SR", shard_state),
+            derive_rng(2, "state"),
+            shards=4,
+            mode="inline",
+            channel=DEFAULT_CHANNEL,
+        ).run()
+        shard_state.check_invariants()
+        for field in ("positions", "energy", "state", "cell", "moved_distance", "move_count"):
+            assert np.array_equal(
+                getattr(seq_state.arrays, field), getattr(shard_state.arrays, field)
+            ), f"arrays.{field} diverged after the final merge"
+        assert seq_state._heads == shard_state._heads
+
+
+# -------------------------------------------------------------- tile replicas
+class TestTileReplicaHelpers:
+    @pytest.fixture
+    def band_state(self) -> WsnState:
+        return _state(columns=8, rows=4, per_cell=2, seed=3)
+
+    def test_extract_masks_everything_outside_coverage(self, band_state):
+        twin = band_state.extract_column_band(0, 5)
+        for node in band_state.nodes():
+            coord = band_state.cell_of_node(node.node_id)
+            assert twin.is_masked(node.node_id) == (coord.x >= 5)
+        # Visible rows carry identical data; heads are inherited only inside.
+        assert twin.band_enabled_count(0, 5) == band_state.band_enabled_count(0, 5)
+        for coord, head in twin._heads.items():
+            if coord.x < 5:
+                assert head == band_state._heads[coord]
+            else:
+                assert head is None
+
+    def test_invalid_band_rejected(self, band_state):
+        with pytest.raises(ValueError, match="column band"):
+            band_state.extract_column_band(5, 3)
+
+    def test_evict_admit_roundtrip(self, band_state):
+        twin = band_state.extract_column_band(0, 8)
+        coord = GridCoord(2, 1)
+        node = band_state.members_of(coord)[0]
+        row = twin.arrays.row_of(node.node_id)
+        fields = (
+            Point(float(twin.arrays.positions[row, 0]), float(twin.arrays.positions[row, 1])),
+            float(twin.arrays.energy[row]),
+            float(twin.arrays.moved_distance[row]),
+            int(twin.arrays.move_count[row]),
+        )
+        assert twin.evict_node(node.node_id) == coord
+        assert twin.is_masked(node.node_id)
+        assert node.node_id not in [m.node_id for m in twin.members_of(coord)]
+        twin.admit_node(node.node_id, coord, *fields)
+        assert not twin.is_masked(node.node_id)
+        assert node.node_id in [m.node_id for m in twin.members_of(coord)]
+        twin.check_invariants()
+
+    def test_masked_and_enabled_rows_reject_the_wrong_operation(self, band_state):
+        twin = band_state.extract_column_band(0, 4)
+        outside = band_state.members_of(GridCoord(6, 0))[0]
+        with pytest.raises(RuntimeError, match="not enabled"):
+            twin.evict_node(outside.node_id)
+        inside = twin.members_of(GridCoord(1, 1))[0]
+        with pytest.raises(RuntimeError, match="not masked"):
+            twin.admit_node(inside.node_id, GridCoord(1, 1), Point(0, 0), 1.0, 0.0, 0)
+
+    def test_authoritative_move_requires_vacant_target(self, band_state):
+        twin = band_state.extract_column_band(0, 8)
+        target = GridCoord(4, 2)
+        make_hole(twin, target)
+        mover = twin.members_of(GridCoord(3, 2))[0]
+        center = twin.grid.cell_center(target)
+        source = twin.apply_authoritative_move(
+            mover.node_id, target, center, 5.0, 2.5, 1
+        )
+        assert source == GridCoord(3, 2)
+        assert twin._heads[target] == mover.node_id
+        assert twin.cell_of_node(mover.node_id) == target
+        # A second arrival into the now-occupied cell must be refused.
+        other = twin.members_of(GridCoord(3, 2))[0]
+        with pytest.raises(RuntimeError, match="occupied"):
+            twin.apply_authoritative_move(other.node_id, target, center, 5.0, 2.5, 1)
+
+    def test_band_exports_partition_the_population(self, band_state):
+        import numpy as np
+
+        left = band_state.extract_column_band(0, 7)   # owned [0, 4) + halo
+        right = band_state.extract_column_band(1, 8)  # owned [4, 8) + halo
+        left_rows = left.export_band_rows(0, 4)["rows"]
+        right_rows = right.export_band_rows(4, 8)["rows"]
+        combined = np.concatenate([left_rows, right_rows])
+        assert len(np.unique(combined)) == len(combined) == len(band_state.arrays)
+
+        # Adopting both payloads onto a scrambled clone restores the arrays.
+        clone = band_state.clone()
+        clone.arrays.energy[:] = -1.0
+        clone.apply_row_export(left.export_band_rows(0, 4))
+        clone.apply_row_export(right.export_band_rows(4, 8))
+        clone._rebuild_indices_from_arrays()
+        clone.elect_all_heads()
+        assert np.array_equal(clone.arrays.energy, band_state.arrays.energy)
+        clone.check_invariants()
