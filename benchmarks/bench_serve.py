@@ -1,0 +1,244 @@
+"""Load benchmark for the ``repro serve`` experiment service.
+
+Stands up an in-process server (ephemeral port, ephemeral sqlite store) and
+drives it with the workload shape the broker exists for:
+
+* a **cold pass** — every spec is novel, so each request simulates through
+  the broker (per-request latency = queueing + simulation + persistence);
+* a **warm pass** — the identical specs again, now answered from the cache
+  (per-request latency = one HTTP round-trip + one backend lookup);
+* a **herd pass** — many concurrent requests for one novel spec, which the
+  broker's in-flight dedup must collapse onto a single simulation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # writes BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # CI guards only
+
+The report records specs/second and p50/p99 latency for both passes, the
+warm/cold throughput ratio, and the herd dedup accounting.  The guards —
+enforced in ``--smoke`` and on the full run alike — are:
+
+* warm-cache throughput at least 10x cold throughput (the service exists to
+  make repeated queries cheap);
+* the herd performs exactly one simulation (in-flight dedup works);
+* warm p50 latency under a generous quarter-second ceiling (a cache hit
+  must never cost simulation time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, make_server
+
+#: Scenario shape of every benchmarked spec: the paper's Section-5 workload
+#: (16x16 grid, 5000 deployed sensors), so cold-pass cost is the cost a real
+#: figure query pays.
+SCENARIO = {"columns": 16, "rows": 16, "deployed_count": 5000, "spare_surplus": 55}
+SCHEMES = ("SR", "AR")
+MAX_ROUNDS = 60
+WARM_REPEATS = 3
+HERD_SIZE = 8
+#: Guards (see module docstring).
+MIN_WARM_SPEEDUP = 10.0
+MAX_WARM_P50_SECONDS = 0.25
+
+
+def spec_payload(scheme: str, seed: int) -> dict:
+    """One run-spec request body for the benchmark workload."""
+    return {
+        "scenario": {**SCENARIO, "seed": seed},
+        "scheme": scheme,
+        "seed": seed,
+        "max_rounds": MAX_ROUNDS,
+    }
+
+
+def build_workload(seeds: int) -> list:
+    """The benchmark's distinct specs: every scheme crossed with every seed."""
+    return [
+        spec_payload(scheme, seed) for scheme in SCHEMES for seed in range(1, seeds + 1)
+    ]
+
+
+def timed_pass(client: ServeClient, payloads: list) -> dict:
+    """Issue every payload sequentially and summarize latency/throughput."""
+    latencies = []
+    cached = 0
+    started = time.perf_counter()
+    for payload in payloads:
+        t0 = time.perf_counter()
+        response = client.run(payload)
+        latencies.append(time.perf_counter() - t0)
+        cached += 1 if response["cached"] else 0
+    wall = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "requests": len(payloads),
+        "cached_answers": cached,
+        "wall_seconds": round(wall, 4),
+        "specs_per_second": round(len(payloads) / wall, 2),
+        "latency_p50_seconds": round(statistics.median(latencies), 5),
+        "latency_p99_seconds": round(
+            latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))], 5
+        ),
+    }
+
+
+def herd_pass(server, client: ServeClient, payload: dict) -> dict:
+    """Fire HERD_SIZE concurrent requests for one novel spec; count simulations."""
+    before = server.broker.stats()
+    results = []
+    errors = []
+
+    def ask():
+        try:
+            results.append(client.run(payload))
+        except Exception as error:  # noqa: BLE001 - reported in the summary
+            errors.append(str(error))
+
+    threads = [threading.Thread(target=ask) for _ in range(HERD_SIZE)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    after = server.broker.stats()
+    executed = after.executed - before.executed
+    identical = bool(results) and all(
+        r["record"] == results[0]["record"] for r in results
+    )
+    return {
+        "concurrent_requests": HERD_SIZE,
+        "errors": errors,
+        "wall_seconds": round(wall, 4),
+        "simulations_performed": executed,
+        "dedup_or_cache_hits": (after.dedup_hits - before.dedup_hits)
+        + (after.cache_hits - before.cache_hits),
+        "records_identical": identical,
+    }
+
+
+def run_benchmark(seeds: int, workers: int) -> tuple:
+    """Execute all three passes against a private server; return (report, failures)."""
+    server = make_server(ServeConfig(port=0, workers=workers))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(server.url, timeout=300)
+    try:
+        workload = build_workload(seeds)
+        cold = timed_pass(client, workload)
+        warm = timed_pass(client, workload * WARM_REPEATS)
+        herd = herd_pass(server, client, spec_payload("SR", seed=10_000))
+        stats = client.stats()
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
+    speedup = warm["specs_per_second"] / cold["specs_per_second"]
+    report = {
+        "benchmark": "bench_serve",
+        "description": (
+            "HTTP experiment-service load benchmark: cold pass (every spec "
+            "simulated through the broker) vs warm pass (identical specs "
+            "answered from the cache) vs a concurrent herd of one novel spec "
+            "(in-flight dedup); warm_vs_cold_speedup >= 10x is the guard the "
+            "serving layer must keep"
+        ),
+        "scenario": SCENARIO,
+        "schemes": list(SCHEMES),
+        "max_rounds": MAX_ROUNDS,
+        "distinct_specs": len(SCHEMES) * seeds,
+        "broker_workers": workers,
+        "cold": cold,
+        "warm": warm,
+        "warm_vs_cold_speedup": round(speedup, 1),
+        "herd": herd,
+        "server_stats": stats,
+    }
+
+    failures = []
+    if cold["cached_answers"] != 0:
+        failures.append("cold pass hit the cache; the workload is not novel")
+    if warm["cached_answers"] != warm["requests"]:
+        failures.append(
+            f"warm pass missed the cache ({warm['cached_answers']} of "
+            f"{warm['requests']} answered cached)"
+        )
+    if speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm-cache throughput is only {speedup:.1f}x cold "
+            f"(guard: >= {MIN_WARM_SPEEDUP:.0f}x)"
+        )
+    if warm["latency_p50_seconds"] > MAX_WARM_P50_SECONDS:
+        failures.append(
+            f"warm p50 latency {warm['latency_p50_seconds']}s exceeds "
+            f"{MAX_WARM_P50_SECONDS}s"
+        )
+    if herd["errors"]:
+        failures.append(f"herd requests errored: {herd['errors'][:3]}")
+    if herd["simulations_performed"] != 1:
+        failures.append(
+            f"herd of {HERD_SIZE} identical requests performed "
+            f"{herd['simulations_performed']} simulations (dedup broken)"
+        )
+    if not herd["records_identical"]:
+        failures.append("herd requests received differing records")
+    return report, failures
+
+
+def main(argv=None) -> int:
+    """Benchmark entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, guards only, no BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None, help="seeds per scheme (distinct specs / 2)"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="broker worker threads")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_serve.json",
+        help="report destination (full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = args.seeds if args.seeds is not None else (2 if args.smoke else 6)
+    report, failures = run_benchmark(seeds=seeds, workers=args.workers)
+
+    if failures:
+        for failure in failures:
+            print(f"bench_serve FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench_serve OK: cold {report['cold']['specs_per_second']} specs/s, "
+        f"warm {report['warm']['specs_per_second']} specs/s "
+        f"({report['warm_vs_cold_speedup']}x), herd of "
+        f"{report['herd']['concurrent_requests']} -> "
+        f"{report['herd']['simulations_performed']} simulation"
+    )
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,18 @@ library without writing any code:
   ``SCENARIOS.md`` catalog reference with ``docs``;
 * ``analyze`` — evaluate the Theorem-2 analytical model for a given spare
   count and Hamilton-path length;
-* ``layout`` — print the Hamilton cycle or dual-path construction of a grid.
+* ``layout`` — print the Hamilton cycle or dual-path construction of a grid;
+* ``serve`` — stand up the HTTP experiment service: spec/scenario/figure
+  queries answered cache-first through a long-running
+  :class:`~repro.experiments.broker.ExperimentBroker` (``--smoke`` runs the
+  CI serving gate instead);
+* ``query`` — the matching client: ask a running service for health, stats,
+  scenarios, figures, or a single run (``--stream`` for live per-round
+  events).
+
+Commands that simulate accept ``--cache-dir`` plus ``--cache-backend``
+(``json`` files or one concurrent-safe ``sqlite`` database) to persist and
+reuse run records across invocations.
 
 Every command accepts ``--help``.  The CLI is a thin layer over
 :mod:`repro.experiments`; anything it prints can also be obtained
@@ -61,7 +72,7 @@ from repro.experiments.orchestration import (
     execute_many,
     make_executor,
 )
-from repro.experiments.persistence import RunCache
+from repro.experiments.persistence import CACHE_BACKENDS, RunCache, make_cache
 from repro.experiments.scenario_files import (
     Scenario,
     ScenarioValidationError,
@@ -325,6 +336,96 @@ def build_parser() -> argparse.ArgumentParser:
     layout.add_argument("--columns", type=int, default=4)
     layout.add_argument("--rows", type=int, default=5)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="stand up the HTTP experiment service (cache-first, broker-backed)",
+    )
+    serve.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (default 8008; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent run store shared across restarts (default: a "
+        "private temporary store that is discarded on exit)",
+    )
+    serve.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="sqlite",
+        help="store format under --cache-dir (default sqlite: the "
+        "concurrent-safe choice for a long-running service)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="broker worker threads simulating cache misses",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="pending-run bound before /run answers HTTP 503 (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per request"
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI serving gate (ephemeral server, uncached + cached + "
+        "streamed queries) instead of serving",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="query a running 'repro serve' instance"
+    )
+    query.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default http://127.0.0.1:8008)",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    query_sub.add_parser("health", help="liveness and uptime")
+    query_sub.add_parser("stats", help="cache and broker counters")
+    query_sub.add_parser("schemes", help="registered recovery schemes")
+    query_sub.add_parser("scenarios", help="the curated scenario catalog")
+    q_scenario = query_sub.add_parser(
+        "scenario", help="run a catalog scenario on the service, cache-first"
+    )
+    q_scenario.add_argument("name", help="catalog scenario name")
+    q_scenario.add_argument(
+        "--smoke", action="store_true", help="query the bounded smoke variant"
+    )
+    q_figure = query_sub.add_parser(
+        "figure", help="fetch a Section-5 figure series from the service"
+    )
+    q_figure.add_argument("name", choices=list(EXPERIMENTAL_FIGURES))
+    q_figure.add_argument(
+        "--quick", action="store_true", help="use the small spare-surplus sweep"
+    )
+    q_figure.add_argument("--trials", type=int, default=1)
+    q_run = query_sub.add_parser(
+        "run", help="execute (or look up) one run spec from a JSON file"
+    )
+    q_run.add_argument(
+        "spec", type=Path, help="JSON file with at least 'scenario' and 'scheme'"
+    )
+    q_run.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+        help="admission class on the service",
+    )
+    q_run.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream live per-round NDJSON events instead of one response",
+    )
+
     return parser
 
 
@@ -379,6 +480,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist run records here and reuse them on repeated invocations",
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="json",
+        help="run-record store format under --cache-dir: one JSON file per "
+        "record (default) or one concurrent-safe sqlite database",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable result caching even when --cache-dir is given",
@@ -393,8 +501,17 @@ def _execution_backend(
     executor = make_executor(args.jobs)
     cache: Optional[RunCache] = None
     if args.cache_dir is not None and not args.no_cache:
-        cache = RunCache(args.cache_dir)
+        cache = make_cache(args.cache_dir, backend=args.cache_backend)
     return executor, cache
+
+
+def _cache_report(cache: RunCache) -> str:
+    """The one-line cache summary printed after a cached command."""
+    snapshot = cache.stats.snapshot()
+    return (
+        f"[cache: {snapshot.hits} runs reused, {snapshot.misses} simulated, "
+        f"{snapshot.hit_rate:.0%} hit rate]"
+    )
 
 
 def _emit(result: ExperimentResult, csv_dir: Optional[Path], filename: str) -> None:
@@ -437,7 +554,7 @@ def _figures_command(args: argparse.Namespace) -> int:
             cache=cache,
         )
         if cache is not None and cache.hits:
-            print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+            print(_cache_report(cache))
             print()
         if "fig6" in wanted:
             result = figure6_processes_and_success(experiment)
@@ -592,7 +709,7 @@ def _lifetime_command(args: argparse.Namespace) -> int:
         print(f"lifetime: {error}", file=sys.stderr)
         return 2
     if cache is not None and cache.hits:
-        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+        print(_cache_report(cache))
         print()
     _emit(result, args.csv_dir, "lifetime_comparison.csv")
     best = max(result.rows, key=lambda row: float(row["lifetime_rounds"]))
@@ -684,7 +801,7 @@ def _scenario_run_command(args: argparse.Namespace) -> int:
     records = scenario.execute(executor=executor, cache=cache)
     print(_scenario_header(scenario))
     if cache is not None and cache.hits:
-        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+        print(_cache_report(cache))
     print()
     result = tabulate_records(scenario, records)
     _emit(result, args.csv_dir, f"scenario_{scenario.name}.csv")
@@ -705,7 +822,7 @@ def _scenario_sweep_command(args: argparse.Namespace) -> int:
     records = execute_many(specs, executor=executor, cache=cache)
     print(_scenario_header(scenario))
     if cache is not None and cache.hits:
-        print(f"[cache: {cache.hits} runs reused, {cache.misses} simulated]")
+        print(_cache_report(cache))
     print()
     result = ExperimentResult(
         name=f"scenario sweep {scenario.name}",
@@ -808,6 +925,100 @@ def _layout_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    # Imported lazily: most CLI invocations never need the serving stack.
+    from repro.serve.server import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        ServeConfig,
+        run_serve_smoke,
+        serve_forever,
+    )
+
+    if args.smoke:
+        failures = run_serve_smoke(workers=max(2, args.workers))
+        if failures:
+            for failure in failures:
+                print(f"serve smoke FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "serve smoke OK: uncached, cached, and streamed queries answered "
+            "through the broker"
+        )
+        return 0
+    config = ServeConfig(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
+        workers=args.workers,
+        queue_limit=args.queue_limit or None,
+        verbose=args.verbose,
+    )
+    return serve_forever(config)
+
+
+def _print_result_payload(payload: dict) -> None:
+    """Render a serve table payload (columns + rows) like a local command."""
+    result = ExperimentResult(
+        name=str(payload.get("name", "")),
+        columns=list(payload["columns"]),
+        description=str(payload.get("description", "")),
+    )
+    for row in payload["rows"]:
+        result.add_row(**row)
+    print(result.format())
+
+
+def _query_command(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+    url = args.url if args.url is not None else f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    client = ServeClient(url)
+    try:
+        if args.query_command == "health":
+            print(_json.dumps(client.health(), indent=2))
+        elif args.query_command == "stats":
+            print(_json.dumps(client.stats(), indent=2))
+        elif args.query_command == "schemes":
+            for scheme in client.schemes():
+                print(scheme)
+        elif args.query_command == "scenarios":
+            entries = client.scenarios()
+            width = max(len(str(e["name"])) for e in entries)
+            for entry in entries:
+                print(f"{entry['name']:<{width}}  {entry['description']}")
+        elif args.query_command == "scenario":
+            payload = client.scenario(args.name, smoke=args.smoke)
+            print(
+                f"[service: {payload['cached_records']} of "
+                f"{payload['total_records']} records answered from the cache]"
+            )
+            _print_result_payload(payload)
+        elif args.query_command == "figure":
+            payload = client.figure(args.name, quick=args.quick, trials=args.trials)
+            _print_result_payload(payload)
+        elif args.query_command == "run":
+            try:
+                body = _json.loads(args.spec.read_text())
+            except (OSError, _json.JSONDecodeError) as error:
+                print(f"query run: cannot read {args.spec}: {error}", file=sys.stderr)
+                return 2
+            if args.stream:
+                for event in client.run_stream(body, priority=args.priority):
+                    print(_json.dumps(event))
+            else:
+                payload = client.run(body, priority=args.priority)
+                print(_json.dumps(payload, indent=2))
+    except ServeError as error:
+        print(f"query: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -824,6 +1035,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _analyze_command(args)
     if args.command == "layout":
         return _layout_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "query":
+        return _query_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -159,6 +159,7 @@ def run_lifetime_experiment(
     executor: Optional[RunExecutor] = None,
     cache: Optional[RunCache] = None,
     shards: int = 1,
+    broker: Optional[object] = None,
 ) -> ExperimentResult:
     """Run every scheme to network death and tabulate lifetimes.
 
@@ -170,6 +171,9 @@ def run_lifetime_experiment(
     ``lifetime_rounds`` is the rounds executed until the first unrepairable
     hole (or the bound); ``stalled``/``exhausted`` are the fractions of trials
     that ended in each way (a run can be both when the bound hits with holes).
+    Pass ``broker`` to route the cells through a long-running
+    :class:`~repro.experiments.broker.ExperimentBroker` instead of a private
+    executor/cache pair.
     """
     config = config if config is not None else LIFETIME_CONFIG
     energy = energy if energy is not None else LIFETIME_ENERGY
@@ -181,7 +185,7 @@ def run_lifetime_experiment(
         max_rounds=max_rounds,
         shards=shards,
     )
-    records = execute_many(specs, executor=executor, cache=cache)
+    records = execute_many(specs, executor=executor, cache=cache, broker=broker)
 
     result = ExperimentResult(
         name=f"lifetime comparison on {config.columns}x{config.rows} grid",

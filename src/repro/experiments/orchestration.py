@@ -332,32 +332,26 @@ def execute_many(
     specs: Sequence[RunSpec],
     executor: Optional[RunExecutor] = None,
     cache: "Optional[RunCache]" = None,
+    broker: "Optional[object]" = None,
 ) -> List[RunRecord]:
     """Execute a batch of specs, reusing cached records where available.
 
-    Records are returned in spec order.  With a cache, only the specs
-    without a stored record are simulated (through ``executor``), and the
-    fresh records are persisted before returning; cached records come back
-    with ``record.cached`` set so callers can report hit rates.
+    Records are returned in spec order.  This is a thin wrapper over the
+    broker layer (:mod:`repro.experiments.broker`): identical specs within
+    the batch are simulated once (``execute_run`` is deterministic, so the
+    shared record is what each duplicate would have produced), specs with a
+    stored record are answered from the cache with ``record.cached`` set,
+    and only the remaining unique misses are simulated through ``executor``
+    and persisted before returning.
+
+    Pass ``broker`` (an :class:`~repro.experiments.broker.ExperimentBroker`)
+    to route the batch through a long-running broker instead — its cache,
+    in-flight dedup, and worker pool then apply across concurrent callers,
+    not just within this batch; ``executor``/``cache`` are ignored because
+    the broker owns its own.
     """
-    specs = list(specs)
-    executor = executor if executor is not None else SerialExecutor()
-    if cache is None:
-        return executor.run_all(specs)
+    from repro.experiments.broker import Priority, execute_batch
 
-    records: List[Optional[RunRecord]] = []
-    missing_indices: List[int] = []
-    for index, spec in enumerate(specs):
-        hit = cache.get(spec)
-        if hit is not None:
-            records.append(dataclasses.replace(hit, cached=True))
-        else:
-            records.append(None)
-            missing_indices.append(index)
-
-    if missing_indices:
-        fresh = executor.run_all([specs[i] for i in missing_indices])
-        for index, record in zip(missing_indices, fresh):
-            cache.put(record)
-            records[index] = record
-    return [record for record in records if record is not None]
+    if broker is not None:
+        return broker.run(list(specs), priority=Priority.BATCH)
+    return execute_batch(specs, executor=executor, cache=cache)

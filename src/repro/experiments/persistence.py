@@ -1,4 +1,4 @@
-"""JSON result persistence with content-addressed caching keyed on the RunSpec.
+"""Result persistence: content-addressed run caching over pluggable backends.
 
 The figure scripts (6, 7, 8) and the extension benchmarks all consume the same
 sweep; before this module existed each of them re-simulated every cell.  A
@@ -19,6 +19,19 @@ Cache-soundness rests on two properties:
 ``CACHE_FORMAT_VERSION`` is folded into the key; bump it whenever the record
 schema or the simulation semantics change, and every old entry silently
 becomes a miss instead of serving stale physics.
+
+Storage is a :class:`CacheBackend` behind the :class:`RunCache` facade:
+
+* :class:`JsonDirBackend` — the original one-``<run_key>.json``-file-per-record
+  directory.  Documents are byte-identical to what earlier revisions wrote,
+  so caches populated before the backend split still hit.
+* :class:`SqliteBackend` — a single WAL-mode sqlite database holding the same
+  documents in one table keyed by ``run_key``; the right choice when many
+  broker workers (or the ``repro serve`` service) hammer one shared store.
+
+Both backends store the *same* canonical document text, so a record read
+back from either is byte-identical; serialization, validation, and hit/miss
+accounting (:class:`CacheStats`) live in the facade, never in a backend.
 """
 
 from __future__ import annotations
@@ -28,9 +41,12 @@ import dataclasses
 import hashlib
 import json
 import os
+import sqlite3
 import tempfile
+import threading
+from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.experiments.orchestration import RunRecord, RunSpec
 from repro.experiments.registry import factory_identity
@@ -147,30 +163,398 @@ def run_key(spec: RunSpec) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-# --------------------------------------------------------------------- cache
-class RunCache:
-    """Directory of ``<run_key>.json`` records, one per executed spec.
+# --------------------------------------------------------------------- stats
+@dataclasses.dataclass(frozen=True)
+class CacheStatsSnapshot:
+    """Point-in-time view of a cache's hit/miss counters.
 
-    Lookups that fail for any reason (missing file, corrupt JSON, schema
-    drift, or a stored spec that does not round-trip to the requested one)
-    are treated as misses, so a damaged cache degrades to re-simulation
-    rather than wrong results.
+    Attributes
+    ----------
+    hits, misses:
+        Lookups answered from the store / lookups that fell through to a
+        (re-)simulation since the counters were created or reset.
     """
+
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups the snapshot covers."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (used by ``repro serve`` ``/stats``)."""
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+
+class CacheStats:
+    """Thread-safe hit/miss accounting shared by every consumer of one cache.
+
+    The broker's worker threads, ``execute_many`` batches, and the serve
+    handlers all record into the same instance; a lock (not bare mutable
+    ints) keeps the totals exact under that concurrency, and
+    :meth:`snapshot` hands out a consistent frozen view.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def record_hit(self) -> None:
+        """Count one lookup answered from the store."""
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        """Count one lookup that fell through to simulation."""
+        with self._lock:
+            self._misses += 1
+
+    def snapshot(self) -> CacheStatsSnapshot:
+        """A consistent frozen view of the counters (hits and misses paired)."""
+        with self._lock:
+            return CacheStatsSnapshot(hits=self._hits, misses=self._misses)
+
+
+# ------------------------------------------------------------------ backends
+class CacheBackend(ABC):
+    """Storage strategy of a :class:`RunCache`: raw documents keyed by ``run_key``.
+
+    A backend stores and retrieves opaque document *text*; serialization,
+    schema validation, and hit/miss accounting belong to the facade.  All
+    methods must be safe to call from multiple threads and processes at
+    once: a concurrent reader sees either a complete document or nothing,
+    never a torn write.
+    """
+
+    #: Short name used by ``--cache-backend`` and reporting.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def load(self, key: str) -> Optional[str]:
+        """The stored document for ``key``, or ``None`` when absent."""
+
+    @abstractmethod
+    def store(self, key: str, document: str) -> Path:
+        """Persist ``document`` under ``key`` (atomically); returns the storage path."""
+
+    @abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether a document is stored under ``key``."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of stored documents."""
+
+    @abstractmethod
+    def clear(self) -> int:
+        """Delete every stored document; returns how many were removed."""
+
+    @abstractmethod
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over the keys of every stored document."""
+
+
+class JsonDirBackend(CacheBackend):
+    """One ``<run_key>.json`` file per record in a flat directory.
+
+    This is the original :class:`RunCache` layout, extracted unchanged: the
+    documents it writes are byte-identical to what earlier revisions of this
+    module produced, so caches populated before the backend split still hit.
+    """
+
+    kind = "json"
 
     def __init__(self, cache_dir: Union[str, Path]) -> None:
         self.cache_dir = Path(cache_dir)
-        self.hits = 0
-        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The file a document for ``key`` is (or would be) stored at."""
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[str]:
+        """Read the document text, or ``None`` when the file is absent."""
+        try:
+            return self.path_for(key).read_text()
+        except OSError:
+            return None
+
+    def store(self, key: str, document: str) -> Path:
+        """Write the document atomically (tempfile + rename) and return its path.
+
+        The temp file gets a writer-unique name so concurrent processes
+        racing to store the same spec each publish a complete document (last
+        full write wins — both wrote the same deterministic record anyway).
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(document)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def contains(self, key: str) -> bool:
+        """Whether the record file exists."""
+        return self.path_for(key).exists()
+
+    def count(self) -> int:
+        """Number of ``.json`` record files in the directory."""
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every record file; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def iter_keys(self) -> Iterator[str]:
+        """Yield the run key of every stored record file."""
+        if not self.cache_dir.exists():
+            return
+        for path in self.cache_dir.glob("*.json"):
+            yield path.stem
+
+
+#: Bump on any change to the sqlite table layout (independent of the record
+#: schema, which CACHE_FORMAT_VERSION covers inside each document).
+SQLITE_SCHEMA_VERSION = 1
+
+#: Default database filename when ``--cache-dir`` points at a directory.
+SQLITE_DEFAULT_FILENAME = "runs.sqlite3"
+
+
+class SqliteBackend(CacheBackend):
+    """All records in one WAL-mode sqlite database, keyed by ``run_key``.
+
+    Designed for many concurrent readers and writers sharing one store (the
+    broker's worker threads, several ``repro`` processes, or the serve
+    service): WAL mode lets readers proceed during a write, a busy timeout
+    absorbs write contention, and every operation runs on its own
+    short-lived connection so the backend is safe to share across threads
+    and to fork across processes.  The table schema is versioned through
+    ``PRAGMA user_version``; a database created by an incompatible revision
+    is rejected loudly instead of being misread.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.is_dir() or path.suffix == "":
+            path = path / SQLITE_DEFAULT_FILENAME
+        self.path = path
+        self._initialised = False
+        self._init_lock = threading.Lock()
+
+    def _connect(self) -> sqlite3.Connection:
+        """A fresh connection with WAL journaling and a generous busy timeout."""
+        connection = sqlite3.connect(str(self.path), timeout=30.0)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute("PRAGMA busy_timeout=30000")
+        return connection
+
+    def _ensure_schema(self, connection: sqlite3.Connection) -> None:
+        """Create (or validate) the table; reject incompatible schema versions."""
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS run_records ("
+                "run_key TEXT PRIMARY KEY, document TEXT NOT NULL)"
+            )
+            connection.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION}")
+            connection.commit()
+        elif version != SQLITE_SCHEMA_VERSION:
+            raise ValueError(
+                f"cache database {self.path} has schema version {version}, "
+                f"this build expects {SQLITE_SCHEMA_VERSION}"
+            )
+
+    @contextlib.contextmanager
+    def _session(self, write: bool = False) -> Iterator[sqlite3.Connection]:
+        """Per-operation connection, creating the database on first write."""
+        if write:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        elif not self.path.exists():
+            # No database yet: nothing to read and nothing to create.
+            yield None
+            return
+        connection = self._connect()
+        try:
+            if not self._initialised:
+                with self._init_lock:
+                    self._ensure_schema(connection)
+                    self._initialised = True
+            yield connection
+        finally:
+            connection.close()
+
+    def load(self, key: str) -> Optional[str]:
+        """Read the stored document text, or ``None`` when absent."""
+        with self._session() as connection:
+            if connection is None:
+                return None
+            row = connection.execute(
+                "SELECT document FROM run_records WHERE run_key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def store(self, key: str, document: str) -> Path:
+        """Upsert the document in one transaction and return the database path."""
+        with self._session(write=True) as connection:
+            connection.execute(
+                "INSERT INTO run_records (run_key, document) VALUES (?, ?) "
+                "ON CONFLICT(run_key) DO UPDATE SET document = excluded.document",
+                (key, document),
+            )
+            connection.commit()
+        return self.path
+
+    def contains(self, key: str) -> bool:
+        """Whether a row is stored under ``key``."""
+        with self._session() as connection:
+            if connection is None:
+                return False
+            row = connection.execute(
+                "SELECT 1 FROM run_records WHERE run_key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def count(self) -> int:
+        """Number of stored rows."""
+        with self._session() as connection:
+            if connection is None:
+                return 0
+            return connection.execute("SELECT COUNT(*) FROM run_records").fetchone()[0]
+
+    def clear(self) -> int:
+        """Delete every row; returns how many were removed."""
+        with self._session() as connection:
+            if connection is None:
+                return 0
+            removed = connection.execute(
+                "SELECT COUNT(*) FROM run_records"
+            ).fetchone()[0]
+            connection.execute("DELETE FROM run_records")
+            connection.commit()
+        return removed
+
+    def iter_keys(self) -> Iterator[str]:
+        """Yield the run key of every stored row."""
+        with self._session() as connection:
+            if connection is None:
+                return
+            rows = connection.execute(
+                "SELECT run_key FROM run_records ORDER BY run_key"
+            ).fetchall()
+        for (key,) in rows:
+            yield key
+
+
+#: Backend kinds accepted by ``--cache-backend`` / :func:`make_cache`.
+CACHE_BACKENDS = ("json", "sqlite")
+
+
+def make_cache(
+    cache_dir: Union[str, Path], backend: str = "json"
+) -> "RunCache":
+    """A :class:`RunCache` rooted at ``cache_dir`` using the named backend.
+
+    ``"json"`` stores one file per record directly in ``cache_dir`` (the
+    historical layout); ``"sqlite"`` stores every record in
+    ``cache_dir/runs.sqlite3``.  Both layouts can coexist in one directory —
+    they never collide — but they do not share entries.
+    """
+    if backend == "json":
+        return RunCache(cache_dir)
+    if backend == "sqlite":
+        return RunCache(cache_dir, backend=SqliteBackend(Path(cache_dir)))
+    raise ValueError(
+        f"unknown cache backend {backend!r}; choose from {list(CACHE_BACKENDS)}"
+    )
+
+
+# --------------------------------------------------------------------- cache
+class RunCache:
+    """Facade over a :class:`CacheBackend`: typed records in, typed records out.
+
+    Lookups that fail for any reason (missing document, corrupt JSON, schema
+    drift, or a stored spec that does not round-trip to the requested one)
+    are treated as misses, so a damaged cache degrades to re-simulation
+    rather than wrong results.
+
+    ``RunCache(directory)`` keeps the historical behaviour (a
+    :class:`JsonDirBackend` on that directory); pass ``backend=`` to use a
+    different store.  ``hits``/``misses`` remain readable attributes but are
+    now backed by a thread-safe :class:`CacheStats` shared with the broker.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is None:
+            if cache_dir is None:
+                raise ValueError("RunCache needs a cache_dir or an explicit backend")
+            backend = JsonDirBackend(cache_dir)
+        self.backend = backend
+        if cache_dir is not None:
+            self.cache_dir = Path(cache_dir)
+        elif isinstance(backend, JsonDirBackend):
+            self.cache_dir = backend.cache_dir
+        else:
+            self.cache_dir = Path(getattr(backend, "path", ".")).parent
+        self.stats = CacheStats()
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the store (see :attr:`stats` for a snapshot)."""
+        return self.stats.snapshot().hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to simulation."""
+        return self.stats.snapshot().misses
 
     def path_for(self, spec: RunSpec) -> Path:
-        """The file a record for ``spec`` is (or would be) stored at."""
-        return self.cache_dir / f"{run_key(spec)}.json"
+        """Where the record for ``spec`` is (or would be) stored.
+
+        For the JSON backend this is the record's own file; for sqlite every
+        record shares the database file.
+        """
+        key = run_key(spec)
+        if isinstance(self.backend, JsonDirBackend):
+            return self.backend.path_for(key)
+        return getattr(self.backend, "path", self.cache_dir)
 
     def get(self, spec: RunSpec) -> Optional[RunRecord]:
         """The stored record for ``spec``, or ``None`` on any kind of miss."""
-        path = self.path_for(spec)
+        document = self.backend.load(run_key(spec))
         try:
-            payload = json.loads(path.read_text())
+            if document is None:
+                raise ValueError("no stored document")
+            payload = json.loads(document)
             if not isinstance(payload, dict):
                 raise ValueError("cache entry is not a JSON object")
             if payload.get("format_version") != CACHE_FORMAT_VERSION:
@@ -179,47 +563,26 @@ class RunCache:
             if record.spec != spec:
                 raise ValueError("stored spec does not match requested spec")
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            self.stats.record_miss()
             return None
-        self.hits += 1
+        self.stats.record_hit()
         return record
 
     def put(self, record: RunRecord) -> Path:
-        """Persist ``record`` (atomically) and return its path.
+        """Persist ``record`` (atomically) and return its storage path."""
+        document = json.dumps(record_to_dict(record), sort_keys=True, indent=1)
+        return self.backend.store(run_key(record.spec), document)
 
-        The temp file gets a writer-unique name so concurrent processes
-        racing to store the same spec each publish a complete document (last
-        full write wins — both wrote the same deterministic record anyway).
-        """
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(record.spec)
-        payload = json.dumps(record_to_dict(record), sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
-        return path
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over the run keys of every stored record."""
+        return self.backend.iter_keys()
 
     def __contains__(self, spec: RunSpec) -> bool:
-        return self.path_for(spec).exists()
+        return self.backend.contains(run_key(spec))
 
     def __len__(self) -> int:
-        if not self.cache_dir.exists():
-            return 0
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return self.backend.count()
 
     def clear(self) -> int:
         """Delete every stored record; returns how many were removed."""
-        removed = 0
-        if self.cache_dir.exists():
-            for path in self.cache_dir.glob("*.json"):
-                path.unlink()
-                removed += 1
-        return removed
+        return self.backend.clear()

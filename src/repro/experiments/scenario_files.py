@@ -297,9 +297,17 @@ class Scenario:
         self,
         executor: Optional[RunExecutor] = None,
         cache: Optional[RunCache] = None,
+        broker: Optional[object] = None,
     ) -> List[RunRecord]:
-        """Run every spec of the scenario and return the records in spec order."""
-        return execute_many(self.run_specs(), executor=executor, cache=cache)
+        """Run every spec of the scenario and return the records in spec order.
+
+        ``broker`` routes the specs through a long-running
+        :class:`~repro.experiments.broker.ExperimentBroker` (the serve layer
+        uses this); otherwise the one-shot ``executor``/``cache`` pair applies.
+        """
+        return execute_many(
+            self.run_specs(), executor=executor, cache=cache, broker=broker
+        )
 
     # -------------------------------------------------------------- variants
     def with_spare_surplus(self, spare_surplus: int) -> "Scenario":

@@ -116,6 +116,7 @@ def run_comparison(
     max_rounds: Optional[int] = None,
     executor: Optional[RunExecutor] = None,
     cache: Optional[RunCache] = None,
+    broker: Optional[object] = None,
 ) -> ExperimentResult:
     """Sweep ``N`` over ``spare_values`` and run every scheme on identical scenarios.
 
@@ -127,12 +128,15 @@ def run_comparison(
         <scheme>_distance, <scheme>_failed, <scheme>_final_holes   (per scheme)
 
     ``executor`` selects the execution strategy (default: serial in-process);
-    ``cache`` reuses persisted records for previously executed specs.
+    ``cache`` reuses persisted records for previously executed specs; pass
+    ``broker`` instead to route the cells through a long-running
+    :class:`~repro.experiments.broker.ExperimentBroker` (shared cache,
+    cross-caller in-flight dedup).
     """
     specs = build_comparison_specs(
         config, spare_values, schemes=schemes, trials=trials, max_rounds=max_rounds
     )
-    records = execute_many(specs, executor=executor, cache=cache)
+    records = execute_many(specs, executor=executor, cache=cache, broker=broker)
 
     columns: List[str] = ["N", "holes", "spares", "enabled"]
     for scheme in schemes:

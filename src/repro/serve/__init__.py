@@ -1,0 +1,35 @@
+"""The ``repro`` experiment service: HTTP serving layer over the broker.
+
+``python -m repro serve`` stands up a stdlib
+:class:`http.server.ThreadingHTTPServer` whose handlers answer spec,
+scenario, and figure queries **cache-first** through one shared
+:class:`~repro.experiments.broker.ExperimentBroker`: a repeated query is one
+backend lookup, a novel query is admitted (with in-flight dedup, so a
+thundering herd of identical requests costs one simulation), and per-round
+series stream back as newline-delimited JSON.
+
+``python -m repro query`` is the matching CLI client
+(:class:`~repro.serve.client.ServeClient`, stdlib ``urllib`` only).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ExperimentServer,
+    ServeConfig,
+    make_server,
+    run_serve_smoke,
+    spec_from_request,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ExperimentServer",
+    "ServeConfig",
+    "ServeClient",
+    "make_server",
+    "run_serve_smoke",
+    "spec_from_request",
+]

@@ -1,0 +1,156 @@
+"""Stdlib HTTP client for the ``repro serve`` experiment service.
+
+:class:`ServeClient` wraps ``urllib`` (no new dependencies) and speaks the
+JSON protocol of :mod:`repro.serve.server`: plain request/response for most
+endpoints, and an iterator of newline-delimited JSON events for streamed
+runs.  The ``repro query`` CLI subcommand is a thin shell over this class.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An error response (or transport failure) from the experiment service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    base_url:
+        Root of the service, e.g. ``http://127.0.0.1:8008``.
+    timeout:
+        Per-request socket timeout in seconds.  Streamed runs and figure
+        queries simulate inside the request, so keep this generous.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _request(
+        self,
+        path: str,
+        query: Optional[Dict[str, object]] = None,
+        body: Optional[object] = None,
+        method: str = "GET",
+    ) -> Request:
+        """Build one :class:`urllib.request.Request` for a service endpoint."""
+        url = f"{self.base_url}{path}"
+        if query:
+            url = f"{url}?{urlencode({k: str(v) for k, v in query.items()})}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return Request(url, data=data, headers=headers, method=method)
+
+    def _call(
+        self,
+        path: str,
+        query: Optional[Dict[str, object]] = None,
+        body: Optional[object] = None,
+        method: str = "GET",
+    ) -> Dict[str, object]:
+        """Issue one request and decode the JSON response (or raise ServeError)."""
+        request = self._request(path, query=query, body=body, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServeError(
+                f"HTTP {error.code} from {path}: {detail}", status=error.code
+            ) from error
+        except URLError as error:
+            raise ServeError(f"cannot reach {self.base_url}: {error.reason}") from error
+
+    # ------------------------------------------------------------- endpoints
+    def health(self) -> Dict[str, object]:
+        """``GET /health``."""
+        return self._call("/health")
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /stats``: cache and broker counters."""
+        return self._call("/stats")
+
+    def schemes(self) -> List[str]:
+        """``GET /schemes``: the registered recovery scheme names."""
+        return list(self._call("/schemes")["schemes"])
+
+    def scenarios(self) -> List[Dict[str, object]]:
+        """``GET /scenarios``: the curated catalog (name + description)."""
+        return list(self._call("/scenarios")["scenarios"])
+
+    def scenario(self, name: str, smoke: bool = False) -> Dict[str, object]:
+        """``GET /scenario/<name>``: run a catalog scenario cache-first."""
+        query = {"smoke": 1} if smoke else None
+        return self._call(f"/scenario/{name}", query=query)
+
+    def figure(
+        self, name: str, quick: bool = False, trials: int = 1
+    ) -> Dict[str, object]:
+        """``GET /figure/<name>``: a Section-5 figure series, cache-first."""
+        query: Dict[str, object] = {"trials": trials}
+        if quick:
+            query["quick"] = 1
+        return self._call(f"/figure/{name}", query=query)
+
+    def run(
+        self, spec_payload: Dict[str, object], priority: str = "interactive"
+    ) -> Dict[str, object]:
+        """``POST /run``: execute (or look up) one spec and return its record."""
+        return self._call(
+            "/run", query={"priority": priority}, body=spec_payload, method="POST"
+        )
+
+    def run_stream(
+        self, spec_payload: Dict[str, object], priority: str = "interactive"
+    ) -> Iterator[Dict[str, object]]:
+        """``POST /run?stream=1``: yield live NDJSON events as they arrive.
+
+        Yields ``accepted`` / ``round`` / ``done`` events for a novel spec,
+        or a single ``cached`` event carrying the stored record.
+        """
+        request = self._request(
+            "/run",
+            query={"priority": priority, "stream": 1},
+            body=spec_payload,
+            method="POST",
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if line:
+                        yield json.loads(line)
+        except HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            raise ServeError(
+                f"HTTP {error.code} from /run: {detail}", status=error.code
+            ) from error
+        except URLError as error:
+            raise ServeError(f"cannot reach {self.base_url}: {error.reason}") from error
+
+    def shutdown(self) -> Dict[str, object]:
+        """``POST /shutdown``: drain the broker and stop the service."""
+        return self._call("/shutdown", method="POST")

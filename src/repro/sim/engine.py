@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.protocol import MobilityController, RoundOutcome
 from repro.network.channel import (
@@ -144,6 +144,12 @@ class RoundBasedEngine:
         self.energy_model = energy_model
         self.run_to_exhaustion = run_to_exhaustion
         self.depleted_nodes: List[int] = []
+        #: Optional per-round observer ``(round_index, sample_dict) -> None``
+        #: called right after each round's series sample is recorded.  The
+        #: serve layer uses it to stream live per-round series; it must not
+        #: mutate state, and leaving it ``None`` (the default) keeps the hot
+        #: loop free of any callback overhead beyond one attribute check.
+        self.round_observer: Optional[Callable[[int, Dict[str, float]], None]] = None
         #: Joules debited per control-message transmission — the single
         #: source of truth for message energy, applied by the engine to every
         #: actual channel send.
@@ -231,6 +237,17 @@ class RoundBasedEngine:
                 ),
                 drops=dropped_after - dropped_before,
             )
+            if self.round_observer is not None:
+                sample = {
+                    "holes": series.holes[-1],
+                    "moves": outcome.move_count,
+                    "distance": outcome.total_distance,
+                    "spares": series.spares[-1],
+                }
+                if track_energy:
+                    sample["energy"] = series.energy[-1]
+                    sample["depletions"] = round_depletions
+                self.round_observer(round_index, sample)
 
             if outcome.made_progress or round_depletions:
                 idle_rounds = 0

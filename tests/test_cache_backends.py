@@ -1,0 +1,234 @@
+"""Tests for the pluggable cache backends (satellite: concurrent stress).
+
+The contracts exercised here:
+
+* both backends satisfy the :class:`CacheBackend` protocol (store/load/
+  contains/count/clear/iter_keys);
+* the two backends hold **byte-identical** documents for the same record,
+  so switching backends never changes results;
+* the :class:`RunCache` facade behaves identically over either backend
+  (round-trip, hit/miss accounting, damage-as-miss);
+* concurrent readers and writers — threads and forked worker processes —
+  never observe a torn document: every read is a miss or a complete,
+  valid record.
+"""
+
+import json
+import sqlite3
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.orchestration import RunSpec, execute_run
+from repro.experiments.persistence import (
+    CACHE_BACKENDS,
+    SQLITE_DEFAULT_FILENAME,
+    SQLITE_SCHEMA_VERSION,
+    CacheStats,
+    JsonDirBackend,
+    RunCache,
+    SqliteBackend,
+    make_cache,
+    record_to_dict,
+    run_key,
+)
+from repro.sim.scenario import ScenarioConfig
+
+QUICK_CONFIG = ScenarioConfig(columns=5, rows=5, deployed_count=150, seed=7)
+
+
+def quick_spec(scheme: str = "SR", seed: int = 7, spare_surplus: int = 10) -> RunSpec:
+    return RunSpec(
+        scenario=QUICK_CONFIG.with_spare_surplus(spare_surplus),
+        scheme=scheme,
+        seed=seed,
+        max_rounds=40,
+    )
+
+
+def make_backend(kind: str, tmp_path):
+    if kind == "json":
+        return JsonDirBackend(tmp_path / "json-store")
+    return SqliteBackend(tmp_path / "sqlite-store")
+
+
+# ------------------------------------------------------------------ protocol
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_backend_protocol_round_trip(kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    assert backend.kind == kind
+    assert backend.count() == 0
+    assert backend.load("missing") is None
+    assert not backend.contains("missing")
+
+    backend.store("k1", '{"v": 1}')
+    backend.store("k2", '{"v": 2}')
+    assert backend.count() == 2
+    assert backend.contains("k1")
+    assert backend.load("k1") == '{"v": 1}'
+    assert sorted(backend.iter_keys()) == ["k1", "k2"]
+
+    backend.store("k1", '{"v": 10}')  # overwrite, not duplicate
+    assert backend.count() == 2
+    assert backend.load("k1") == '{"v": 10}'
+
+    backend.clear()
+    assert backend.count() == 0
+    assert backend.load("k1") is None
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_make_cache_selects_backend(kind, tmp_path):
+    cache = make_cache(tmp_path, backend=kind)
+    assert cache.backend.kind == kind
+
+
+def test_make_cache_rejects_unknown_backend(tmp_path):
+    with pytest.raises(ValueError, match="unknown cache backend"):
+        make_cache(tmp_path, backend="parquet")
+
+
+def test_backends_hold_byte_identical_documents(tmp_path):
+    """Acceptance: the same record serializes byte-identically in both stores."""
+    record = execute_run(quick_spec())
+    key = run_key(record.spec)
+    caches = {
+        kind: make_cache(tmp_path / kind, backend=kind) for kind in CACHE_BACKENDS
+    }
+    for cache in caches.values():
+        cache.put(record)
+    documents = {kind: cache.backend.load(key) for kind, cache in caches.items()}
+    assert documents["json"] == documents["sqlite"]
+    assert json.loads(documents["json"])["format_version"] >= 4
+
+
+# ------------------------------------------------------------------- facade
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_facade_round_trip_and_stats(kind, tmp_path):
+    cache = make_cache(tmp_path, backend=kind)
+    spec = quick_spec()
+    assert cache.get(spec) is None  # miss
+    record = execute_run(spec)
+    cache.put(record)
+    hit = cache.get(spec)
+    assert hit is not None
+    assert record_to_dict(hit) == record_to_dict(record)
+    assert cache.hits == 1 and cache.misses == 1
+    snapshot = cache.stats.snapshot()
+    assert snapshot.hit_rate == 0.5
+    assert run_key(spec) in list(cache.iter_keys())
+    assert spec in cache and len(cache) == 1
+
+
+def test_sqlite_corrupt_document_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path, backend="sqlite")
+    spec = quick_spec()
+    cache.put(execute_run(spec))
+    cache.backend.store(run_key(spec), "{ not json")
+    assert cache.get(spec) is None
+
+
+def test_sqlite_rejects_foreign_schema_version(tmp_path):
+    backend = SqliteBackend(tmp_path)
+    backend.store("k", "{}")
+    db_path = tmp_path / SQLITE_DEFAULT_FILENAME
+    with sqlite3.connect(db_path) as conn:
+        conn.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION + 1}")
+    with pytest.raises(ValueError, match="schema version"):
+        SqliteBackend(tmp_path).store("k2", "{}")
+
+
+def test_sqlite_default_filename_under_directory(tmp_path):
+    backend = SqliteBackend(tmp_path)
+    backend.store("k", "{}")
+    assert (tmp_path / SQLITE_DEFAULT_FILENAME).exists()
+
+
+# --------------------------------------------------------------- concurrency
+def test_cache_stats_is_thread_safe():
+    stats = CacheStats()
+
+    def spin():
+        for _ in range(2000):
+            stats.record_hit()
+            stats.record_miss()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snapshot = stats.snapshot()
+    assert snapshot.hits == snapshot.misses == 16000
+    assert snapshot.lookups == 32000
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_concurrent_threads_never_see_torn_documents(kind, tmp_path):
+    """Readers racing writers observe either a miss or a complete record."""
+    cache = make_cache(tmp_path, backend=kind)
+    specs = [quick_spec(scheme=s, seed=seed) for s in ("SR", "AR") for seed in (1, 2)]
+    records = [execute_run(spec) for spec in specs]
+    expected = {run_key(r.spec): record_to_dict(r) for r in records}
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        for _ in range(15):
+            for record in records:
+                cache.put(record)
+
+    def reader():
+        own = RunCache(cache.cache_dir, backend=cache.backend)
+        while not stop.is_set():
+            for spec in specs:
+                hit = own.get(spec)
+                if hit is not None and record_to_dict(hit) != expected[run_key(spec)]:
+                    errors.append("torn or wrong record observed")
+                    return
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    writers = [threading.Thread(target=writer) for _ in range(3)]
+    for t in readers + writers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert not errors
+    for spec in specs:
+        hit = cache.get(spec)
+        assert hit is not None
+        assert record_to_dict(hit) == expected[run_key(spec)]
+
+
+def _process_worker(args):
+    """Top-level (picklable) worker: hammer one shared store from a process."""
+    cache_dir, kind, scheme, seed = args
+    cache = make_cache(cache_dir, backend=kind)
+    spec = quick_spec(scheme=scheme, seed=seed)
+    record = execute_run(spec)
+    for _ in range(5):
+        cache.put(record)
+        hit = cache.get(spec)
+        if hit is None:
+            continue  # a racing writer is fine; torn data is not
+        if record_to_dict(hit) != record_to_dict(record):
+            return f"{scheme}/{seed}: torn record"
+    return None
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_concurrent_processes_share_one_store(kind, tmp_path):
+    jobs = [
+        (tmp_path, kind, scheme, seed)
+        for scheme in ("SR", "AR")
+        for seed in (1, 2)
+    ]
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        failures = [f for f in pool.map(_process_worker, jobs) if f]
+    assert not failures
+    cache = make_cache(tmp_path, backend=kind)
+    assert len(cache) == len(jobs)

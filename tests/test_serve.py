@@ -1,0 +1,212 @@
+"""Tests for the HTTP experiment service and its client.
+
+The contracts exercised here:
+
+* request parsing (:func:`spec_from_request`) fills defaults and rejects
+  malformed bodies;
+* a repeated ``/run`` query is answered from the cache with the identical
+  record; concurrent identical queries collapse onto one simulation;
+* ``/run?stream=1`` carries live per-round events and publishes the finished
+  record so the next query is a hit;
+* error mapping: bad specs -> 400, unknown endpoints -> 404, a full broker
+  queue -> 503.
+"""
+
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.experiments.broker import ExperimentBroker
+from repro.experiments.orchestration import execute_run
+from repro.experiments.persistence import record_to_dict
+from repro.serve import ServeClient, ServeConfig, make_server, spec_from_request
+from repro.serve.client import ServeError
+from repro.sim.engine import DEFAULT_IDLE_ROUND_LIMIT
+
+
+def spec_payload(scheme: str = "SR", seed: int = 3, **overrides) -> dict:
+    payload = {
+        "scenario": {
+            "columns": 5,
+            "rows": 5,
+            "deployed_count": 150,
+            "spare_surplus": 8,
+            "seed": seed,
+        },
+        "scheme": scheme,
+        "seed": seed,
+        "max_rounds": 40,
+    }
+    payload.update(overrides)
+    return payload
+
+
+@contextmanager
+def running_server(broker=None, **config_kwargs):
+    """An ephemeral-port server (and client) that is torn down afterwards."""
+    config = ServeConfig(port=0, workers=config_kwargs.pop("workers", 2), **config_kwargs)
+    server = make_server(config, broker=broker)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, ServeClient(server.url, timeout=60)
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
+
+# ------------------------------------------------------------ request parsing
+def test_spec_from_request_fills_defaults():
+    spec = spec_from_request({"scenario": {"seed": 9}, "scheme": "SR"})
+    assert spec.scheme == "SR"
+    assert spec.seed == 9  # inherited from the scenario seed
+    assert spec.max_rounds is None
+    assert spec.idle_round_limit == DEFAULT_IDLE_ROUND_LIMIT
+    assert spec.energy is None and not spec.run_to_exhaustion
+    assert spec.failures == () and spec.channel is None
+
+
+def test_spec_from_request_accepts_channel_strings():
+    spec = spec_from_request(spec_payload(channel="lossy:0.2"))
+    assert spec.channel is not None
+    assert spec.channel.kind == "lossy"
+    assert dict(spec.channel.params)["drop_probability"] == pytest.approx(0.2)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "not a dict",
+        {},
+        {"scheme": "SR"},
+        {"scenario": {"seed": 1}},
+        {"scenario": "not-a-dict", "scheme": "SR"},
+        {"scenario": {"bogus_field": 1}, "scheme": "SR"},
+    ],
+)
+def test_spec_from_request_rejects_malformed_bodies(body):
+    with pytest.raises(ValueError):
+        spec_from_request(body)
+
+
+# ------------------------------------------------------------------ endpoints
+def test_serve_answers_repeated_queries_from_the_cache():
+    with running_server() as (server, client):
+        assert client.health()["status"] == "ok"
+        assert "SR" in client.schemes()
+        assert any(s["name"] == "paper-16x16" for s in client.scenarios())
+
+        first = client.run(spec_payload())
+        assert not first["cached"]
+        second = client.run(spec_payload())
+        assert second["cached"]
+        assert second["record"] == first["record"]
+
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert stats["broker"]["executed"] == 1
+
+
+def test_serve_run_matches_local_execution():
+    with running_server() as (server, client):
+        remote = client.run(spec_payload())["record"]
+    local = record_to_dict(execute_run(spec_from_request(spec_payload())))
+    assert remote == local
+
+
+def test_streamed_run_emits_live_rounds_then_caches():
+    with running_server() as (server, client):
+        events = list(client.run_stream(spec_payload(seed=11)))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "done"
+        rounds = [e for e in events if e["event"] == "round"]
+        assert rounds, "no live per-round events arrived"
+        assert [e["round"] for e in rounds] == list(range(len(rounds)))
+        assert all("holes" in e and "moves" in e for e in rounds)
+        # The streamed record was published: the next stream is one cached event.
+        replay = list(client.run_stream(spec_payload(seed=11)))
+        assert [e["event"] for e in replay] == ["cached"]
+        assert replay[0]["record"] == events[-1]["record"]
+
+
+def test_concurrent_identical_queries_share_one_simulation():
+    """Acceptance: a thundering herd of one spec costs one simulation."""
+    with running_server() as (server, client):
+        results = []
+
+        def ask():
+            results.append(client.run(spec_payload(seed=21)))
+
+        threads = [threading.Thread(target=ask) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        records = [r["record"] for r in results]
+        assert all(record == records[0] for record in records)
+        assert server.broker.stats().executed == 1
+
+
+# --------------------------------------------------------------- error paths
+def test_malformed_spec_maps_to_400():
+    with running_server() as (server, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.run({"scheme": "SR"})
+        assert excinfo.value.status == 400
+
+
+def test_bad_priority_maps_to_400():
+    with running_server() as (server, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.run(spec_payload(), priority="urgent")
+        assert excinfo.value.status == 400
+
+
+def test_unknown_routes_map_to_404():
+    with running_server() as (server, client):
+        for path in ["/nope", "/scenario/not-a-scenario", "/figure/fig99"]:
+            with pytest.raises(ServeError) as excinfo:
+                client._call(path)
+            assert excinfo.value.status == 404, path
+
+
+def test_full_queue_maps_to_503():
+    gate = threading.Event()
+
+    def gated_run(spec):
+        gate.wait(timeout=30)
+        return execute_run(spec)
+
+    def wait_until(predicate, timeout: float = 5.0) -> None:
+        pause = threading.Event()
+        for _ in range(int(timeout / 0.01)):
+            if predicate():
+                return
+            pause.wait(0.01)
+        pytest.fail("broker never reached the expected state")
+
+    broker = ExperimentBroker(workers=1, queue_limit=1, run_fn=gated_run)
+    with running_server(broker=broker) as (server, client):
+        background = []
+
+        def ask(seed):
+            thread = threading.Thread(
+                target=lambda: client.run(spec_payload(seed=seed))
+            )
+            thread.start()
+            background.append(thread)
+
+        ask(31)  # occupies the one worker (held at the gate)
+        wait_until(lambda: broker.stats().pending == 0 and broker.stats().in_flight == 1)
+        ask(32)  # fills the queue exactly to its bound
+        wait_until(lambda: broker.stats().pending == 1)
+        with pytest.raises(ServeError) as excinfo:
+            client.run(spec_payload(seed=33))
+        assert excinfo.value.status == 503
+        gate.set()
+        for thread in background:
+            thread.join(timeout=30)
