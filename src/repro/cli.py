@@ -12,7 +12,9 @@ library without writing any code:
   determinism/physics gate instead);
 * ``scenario`` — work with declarative scenario files and the curated
   catalog: ``list`` the shipped scenarios, ``show`` a document, ``run`` or
-  ``sweep`` one (by catalog name or file path), and generate the
+  ``sweep`` one (by catalog name or file path), ``fuzz`` the declarative
+  space with the differential oracle harness, ``replay`` an archived
+  falsifier with its per-oracle verdict table, and generate the
   ``SCENARIOS.md`` catalog reference with ``docs``;
 * ``analyze`` — evaluate the Theorem-2 analytical model for a given spare
   count and Hamilton-path length;
@@ -301,6 +303,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shards_argument(sweep)
     _add_execution_arguments(sweep)
+
+    fuzz = scenario_sub.add_parser(
+        "fuzz",
+        help="sample valid scenarios from the declarative space and check "
+        "every registered scheme against the differential oracles",
+    )
+    fuzz.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="number of scenarios to sample (deterministic mode: equal seeds "
+        "give equal falsifier sets)",
+    )
+    fuzz.add_argument(
+        "--minutes",
+        type=float,
+        default=None,
+        help="time budget in minutes instead of a sample count (at least one "
+        "sample always runs)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="session seed of the scenario sampler"
+    )
+    fuzz.add_argument(
+        "--archive-dir",
+        type=Path,
+        default=None,
+        help="archive minimized falsifiers as replayable TOML here "
+        "(default: the packaged falsified catalog, "
+        "src/repro/scenarios/falsified/)",
+    )
+    fuzz.add_argument(
+        "--no-archive",
+        action="store_true",
+        help="report falsifiers without writing any TOML archive",
+    )
+    _add_execution_arguments(fuzz)
+
+    replay = scenario_sub.add_parser(
+        "replay",
+        help="re-run a falsifier (or any scenario) across all registered "
+        "schemes and print the per-oracle verdict table",
+    )
+    replay.add_argument(
+        "ref",
+        help="falsified-catalog name, curated catalog name, or path to a "
+        ".toml/.json scenario file",
+    )
+    _add_execution_arguments(replay)
 
     docs = scenario_sub.add_parser(
         "docs", help="render the generated SCENARIOS.md catalog reference"
@@ -857,6 +908,98 @@ def _scenario_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_fuzz_command(args: argparse.Namespace) -> int:
+    # Imported lazily: the fuzzing stack is only needed by this subcommand.
+    from repro.experiments.catalog import falsified_dir
+    from repro.experiments.differential import run_fuzz
+
+    if args.samples is None and args.minutes is None:
+        raise _ScenarioCliError(
+            "scenario fuzz needs --samples N or --minutes N (e.g. "
+            "scenario fuzz --samples 25 --seed 9)"
+        )
+    if args.samples is not None and args.samples < 1:
+        raise _ScenarioCliError(f"--samples must be >= 1, got {args.samples}")
+    archive_dir: Optional[Path] = None
+    if not args.no_archive:
+        archive_dir = args.archive_dir if args.archive_dir is not None else falsified_dir()
+    executor, cache = _execution_backend(args)
+    budget = (
+        f"{args.samples} samples" if args.samples is not None else f"{args.minutes} min"
+    )
+    print(f"scenario fuzz: seed {args.seed}, {budget}, archive: {archive_dir or 'off'}")
+    result = run_fuzz(
+        seed=args.seed,
+        samples=args.samples,
+        minutes=args.minutes,
+        archive_dir=archive_dir,
+        executor=executor,
+        cache=cache,
+        log=print,
+    )
+    if cache is not None and cache.hits:
+        print(_cache_report(cache))
+    bugs = result.bug_falsifiers
+    claims = result.claim_falsifiers
+    print(
+        f"fuzzed {result.samples_run} scenario(s): "
+        f"{len(bugs)} bug falsifier(s), {len(claims)} claim falsifier(s)"
+    )
+    for falsifier in result.falsifiers:
+        where = f" -> {falsifier.path}" if falsifier.path is not None else ""
+        print(
+            f"  [{falsifier.severity}] {falsifier.oracle} "
+            f"(sample {falsifier.sample_index}): {falsifier.violations[0]}{where}"
+        )
+    if bugs:
+        print(
+            "scenario fuzz FAILED: bug-severity oracle violations above",
+            file=sys.stderr,
+        )
+        return 1
+    print("scenario fuzz OK: no bug-severity oracle violations")
+    return 0
+
+
+def _scenario_replay_command(args: argparse.Namespace) -> int:
+    from repro.experiments.differential import run_differential
+
+    scenario = _resolve_cli_scenario(args)
+    executor, cache = _execution_backend(args)
+    print(_scenario_header(scenario))
+    if scenario.description:
+        print(scenario.description)
+    print()
+    report = run_differential(scenario, executor=executor, cache=cache)
+    result = ExperimentResult(
+        name=f"replay {scenario.name}",
+        columns=["oracle", "severity", "verdict", "detail"],
+        description="per-oracle verdicts of the differential harness",
+    )
+    for outcome in report.outcomes:
+        result.add_row(
+            oracle=outcome.name,
+            severity=outcome.severity,
+            verdict="PASS" if outcome.passed else "VIOLATED",
+            detail=outcome.violations[0] if outcome.violations else "-",
+        )
+    print(result.format())
+    print()
+    if report.bug_violations:
+        print(
+            "replay: bug-severity oracle(s) violated — the simulator has a "
+            "reproducible defect",
+            file=sys.stderr,
+        )
+        return 1
+    if report.claim_violations:
+        names = ", ".join(o.name for o in report.claim_violations)
+        print(f"replay: claim oracle(s) {names} reproduced (discovery, not a defect)")
+    else:
+        print("replay: all oracles passed")
+    return 0
+
+
 def _scenario_docs_command(args: argparse.Namespace) -> int:
     rendering = render_catalog_docs()
     if args.check is not None:
@@ -888,6 +1031,8 @@ def _scenario_command(args: argparse.Namespace) -> int:
         "show": _scenario_show_command,
         "run": _scenario_run_command,
         "sweep": _scenario_sweep_command,
+        "fuzz": _scenario_fuzz_command,
+        "replay": _scenario_replay_command,
         "docs": _scenario_docs_command,
     }
     handler = handlers[args.scenario_command]

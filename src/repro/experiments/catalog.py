@@ -36,7 +36,11 @@ __all__ = [
     "CATALOG_NAMES",
     "catalog_names",
     "catalog_scenarios",
+    "falsified_dir",
+    "falsified_names",
+    "falsified_scenarios",
     "load_catalog_scenario",
+    "load_falsified_scenario",
     "render_catalog_docs",
     "resolve_scenario",
 ]
@@ -95,12 +99,77 @@ def resolve_scenario(ref: Union[str, Path]) -> Scenario:
 
     Anything that looks like a file (an existing path, or a ``.toml`` /
     ``.json`` suffix) is loaded from disk; everything else is looked up in
-    the catalog, with the catalog listing in the error when the lookup fails.
+    the curated catalog first and the falsified catalog second, with both
+    listings in the error when the lookup fails.
     """
     path = Path(ref)
     if path.suffix.lower() in (".toml", ".json") or path.exists():
         return load_scenario(path)
-    return load_catalog_scenario(str(ref))
+    name = str(ref)
+    if name in CATALOG_NAMES:
+        return load_catalog_scenario(name)
+    if name in falsified_names():
+        return load_falsified_scenario(name)
+    raise KeyError(
+        f"unknown catalog scenario {name!r}; available: {list(CATALOG_NAMES)}, "
+        f"falsified: {list(falsified_names())}"
+    )
+
+
+# --------------------------------------------------------- falsified catalog
+def falsified_dir() -> Path:
+    """Directory of the shipped falsified scenarios (the fuzz archive).
+
+    ``python -m repro scenario fuzz`` archives minimized falsifiers here by
+    default; the directory is part of the ``repro.scenarios`` package data,
+    so committed falsifiers ship with the package and feed the generated
+    ``SCENARIOS.md`` falsified-catalog section.
+    """
+    return Path(str(files(_SCENARIO_PACKAGE).joinpath("falsified")))
+
+
+def falsified_names() -> Tuple[str, ...]:
+    """Names of the archived falsifier scenarios, sorted.
+
+    Unlike :data:`CATALOG_NAMES` this listing is discovered from the
+    ``falsified/`` directory contents — the fuzzer appends to it over time.
+    """
+    directory = files(_SCENARIO_PACKAGE).joinpath("falsified")
+    if not directory.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            entry.name[: -len(".toml")]
+            for entry in directory.iterdir()
+            if entry.name.endswith(".toml")
+        )
+    )
+
+
+def load_falsified_scenario(name: str) -> Scenario:
+    """Load one archived falsifier by name.
+
+    Raises :class:`KeyError` listing the falsified catalog when the name is
+    unknown.  Not cached: the fuzzer may archive new falsifiers mid-process.
+    """
+    if name not in falsified_names():
+        raise KeyError(
+            f"unknown falsified scenario {name!r}; "
+            f"available: {list(falsified_names())}"
+        )
+    resource = files(_SCENARIO_PACKAGE).joinpath("falsified").joinpath(f"{name}.toml")
+    scenario = loads_scenario(resource.read_text(), format="toml")
+    if scenario.name != name:
+        raise ValueError(
+            f"falsified file {name}.toml declares name = {scenario.name!r}; "
+            "the file name and the document name must match"
+        )
+    return scenario
+
+
+def falsified_scenarios() -> Dict[str, Scenario]:
+    """All archived falsifiers keyed by name, sorted."""
+    return {name: load_falsified_scenario(name) for name in falsified_names()}
 
 
 # ------------------------------------------------------------- documentation
@@ -201,4 +270,42 @@ def render_catalog_docs() -> str:
                 )
                 lines.append(f"- round {event.round}: `{event.kind}` ({params})")
         lines += ["", f"Run it: `python -m repro scenario run {name}`"]
+    lines += _falsified_docs_lines()
     return "\n".join(lines) + "\n"
+
+
+def _falsified_docs_lines() -> List[str]:
+    """The falsified-catalog section of ``SCENARIOS.md``."""
+    lines = [
+        "",
+        "# Falsified scenarios",
+        "",
+        "Minimized counterexamples archived by the differential fuzzer",
+        "(`python -m repro scenario fuzz`).  Each entry is an ordinary scenario",
+        "document whose replay (`python -m repro scenario replay <name>`)",
+        "reproduces one oracle violation: claim-severity entries quantify where",
+        "a statistical paper claim breaks on individual seeds, bug-severity",
+        "entries (none expected to stay archived) reproduce an implementation",
+        "defect.",
+    ]
+    entries = falsified_scenarios()
+    if not entries:
+        lines += ["", "No falsifiers are currently archived."]
+        return lines
+    lines += [
+        "",
+        "| falsifier | grid | schemes | what it falsifies |",
+        "|---|---|---|---|",
+    ]
+    for name, scenario in entries.items():
+        config = scenario.scenario
+        lines.append(
+            f"| `{name}` | {config.columns}x{config.rows} "
+            f"| {', '.join(scenario.schemes)} | {scenario.stresses} |"
+        )
+    for name, scenario in entries.items():
+        lines += ["", f"## {name}", "", scenario.description, ""]
+        if scenario.stresses:
+            lines += [f"**Violation:** {scenario.stresses}", ""]
+        lines.append(f"Replay it: `python -m repro scenario replay {name}`")
+    return lines

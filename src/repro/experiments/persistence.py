@@ -65,7 +65,11 @@ from repro.sim.scenario import ScenarioConfig
 #: v4: pluggable control channels — specs carry an optional ChannelModel,
 #: control messages are real channel traffic debited by the engine, and
 #: metrics carry messages_dropped / mean_delivery_latency.
-CACHE_FORMAT_VERSION = 4
+#: v5: auditable message ledger — metrics carry messages_delivered and
+#: messages_in_flight so stored records satisfy the conservation invariant
+#: sent == delivered + dropped + in_flight checked by the differential
+#: harness's oracles.
+CACHE_FORMAT_VERSION = 5
 
 
 # ------------------------------------------------------------- serialization

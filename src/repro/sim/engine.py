@@ -287,10 +287,14 @@ class RoundBasedEngine:
             messages_sent = self.channel.sent_count
             messages_dropped = self.channel.dropped_count
             mean_latency = self.channel.mean_delivery_latency
+            messages_delivered = self.channel.delivered_count
+            messages_in_flight = self.channel.pending_count
         else:
             messages_sent = sum(outcome.messages_sent for outcome in outcomes)
             messages_dropped = 0
             mean_latency = 0.0
+            messages_delivered = 0
+            messages_in_flight = 0
         metrics = self._collect(
             initial,
             rounds_executed,
@@ -298,6 +302,8 @@ class RoundBasedEngine:
             messages_dropped,
             mean_latency,
             track_energy,
+            messages_delivered,
+            messages_in_flight,
         )
         self._emit(
             EventKind.SIMULATION_FINISHED,
@@ -374,6 +380,8 @@ class RoundBasedEngine:
         messages_dropped: int,
         mean_latency: float,
         track_energy: bool,
+        messages_delivered: int = 0,
+        messages_in_flight: int = 0,
     ) -> RunMetrics:
         """Aggregate the run's metrics from the final state."""
         return collect_metrics(
@@ -387,6 +395,8 @@ class RoundBasedEngine:
             energy=energy_summary(self.state) if track_energy else None,
             messages_dropped=messages_dropped,
             mean_delivery_latency=mean_latency,
+            messages_delivered=messages_delivered,
+            messages_in_flight=messages_in_flight,
         )
 
     # --------------------------------------------------------------- internal

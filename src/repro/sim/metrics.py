@@ -44,6 +44,16 @@ class RunMetrics:
     #: Mean rounds between send and delivery over the delivered messages
     #: (0.0 when nothing was delivered; 1.0 on the paper's perfect channel).
     mean_delivery_latency: float = 0.0
+    #: Control messages delivered to their destination cell.  Together with
+    #: :attr:`messages_dropped` and :attr:`messages_in_flight` this makes the
+    #: channel ledger auditable from the record alone: every channel-backed
+    #: run satisfies ``sent == delivered + dropped + in_flight`` (the
+    #: message-conservation oracle of :mod:`repro.experiments.differential`).
+    #: 0 on pre-channel legacy runs, where only ``messages_sent`` is counted.
+    messages_delivered: int = 0
+    #: Control messages still in flight (queued in the mailbox) when the run
+    #: ended.  0 on pre-channel legacy runs.
+    messages_in_flight: int = 0
 
     @property
     def message_delivery_rate(self) -> float:
@@ -75,7 +85,14 @@ class RunMetrics:
         return self.total_distance / repaired if repaired > 0 else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary representation (used by the CSV exporters)."""
+        """Flat dictionary representation (used by the CSV exporters).
+
+        This is the *stable* export schema: fields added after the seed-
+        identity golden fixture was frozen (``messages_delivered``,
+        ``messages_in_flight``) are intentionally not part of it — the full
+        field set is available through
+        :func:`~repro.experiments.persistence.record_to_dict`.
+        """
         return {
             "scheme": self.scheme,
             "rounds": self.rounds,
@@ -137,6 +154,8 @@ def collect_metrics(
     energy: Optional[EnergySummary] = None,
     messages_dropped: int = 0,
     mean_delivery_latency: float = 0.0,
+    messages_delivered: int = 0,
+    messages_in_flight: int = 0,
 ) -> RunMetrics:
     """Combine controller bookkeeping and final state into a :class:`RunMetrics`.
 
@@ -172,6 +191,8 @@ def collect_metrics(
         energy=energy,
         messages_dropped=messages_dropped,
         mean_delivery_latency=mean_delivery_latency,
+        messages_delivered=messages_delivered,
+        messages_in_flight=messages_in_flight,
     )
 
 

@@ -284,3 +284,77 @@ class TestScenarioCommand:
         ambiguous.write_text('name = "x"\n')
         assert main(["scenario", "run", str(ambiguous)]) == 2
         assert "cannot infer scenario format" in capsys.readouterr().err
+
+
+class TestScenarioFuzzCommand:
+    def test_fuzz_and_replay_subcommands_parse(self):
+        parser = build_parser()
+        fuzz = parser.parse_args(["scenario", "fuzz", "--samples", "5", "--seed", "3"])
+        assert fuzz.scenario_command == "fuzz"
+        assert fuzz.samples == 5 and fuzz.seed == 3
+        timed = parser.parse_args(["scenario", "fuzz", "--minutes", "1.5"])
+        assert timed.minutes == 1.5
+        replay = parser.parse_args(["scenario", "replay", "some-falsifier"])
+        assert replay.scenario_command == "replay" and replay.ref == "some-falsifier"
+
+    def test_fuzz_without_a_budget_is_a_clean_error(self, capsys):
+        assert main(["scenario", "fuzz", "--no-archive"]) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_fuzz_smoke_session_archives_deterministically(self, capsys, tmp_path):
+        # Seed 9 is the session's known discovery seed: sample 4 falsifies
+        # the claim-severity sr-ar-moves oracle (exit stays 0 — only
+        # bug-severity falsifiers fail the session).
+        args = ["scenario", "fuzz", "--samples", "5", "--seed", "9"]
+        first_dir = tmp_path / "first"
+        assert main(args + ["--archive-dir", str(first_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "scenario fuzz OK" in output
+        assert "claim oracle sr-ar-moves violated" in output
+        second_dir = tmp_path / "second"
+        assert main(args + ["--archive-dir", str(second_dir)]) == 0
+        capsys.readouterr()
+        first_files = sorted(p.name for p in first_dir.iterdir())
+        assert first_files == sorted(p.name for p in second_dir.iterdir())
+        assert first_files == ["falsified-sr-ar-moves-s9-i4.toml"]
+        for name in first_files:
+            assert (first_dir / name).read_bytes() == (second_dir / name).read_bytes()
+
+    def test_fuzz_no_archive_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenario", "fuzz", "--samples", "2", "--seed", "1", "--no-archive"]) == 0
+        assert "scenario fuzz" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_replay_prints_a_per_oracle_verdict_table(self, capsys, tmp_path):
+        archive = tmp_path / "archive"
+        assert main(
+            ["scenario", "fuzz", "--samples", "5", "--seed", "9",
+             "--archive-dir", str(archive)]
+        ) == 0
+        capsys.readouterr()
+        falsifier = archive / "falsified-sr-ar-moves-s9-i4.toml"
+        assert main(["scenario", "replay", str(falsifier)]) == 0
+        output = capsys.readouterr().out
+        assert "VIOLATED" in output and "PASS" in output
+        for oracle in ("sr-ar-moves", "theorem2-bound", "message-conservation"):
+            assert oracle in output
+        assert "discovery, not a defect" in output
+
+    def test_replay_resolves_shipped_falsified_names(self, capsys):
+        from repro.experiments.catalog import falsified_names
+
+        names = falsified_names()
+        assert names, "the falsified catalog ships at least one falsifier"
+        assert main(["scenario", "replay", names[0]]) == 0
+        assert names[0] in capsys.readouterr().out
+
+    def test_replay_of_a_clean_scenario_reports_all_pass(self, capsys):
+        assert main(["scenario", "replay", "corner-holes"]) == 0
+        output = capsys.readouterr().out
+        assert "VIOLATED" not in output
+        assert "replay: all oracles passed" in output
+
+    def test_replay_unknown_ref_is_a_clean_error(self, capsys):
+        assert main(["scenario", "replay", "no-such-falsifier"]) == 2
+        assert "unknown catalog scenario" in capsys.readouterr().err

@@ -81,8 +81,9 @@ class TestCatalogByteIdentity:
 class TestShardsNeverEnterTheCacheKey:
     def test_cache_format_version_unchanged(self):
         # Sharding must not perturb stored records; a version bump here means
-        # the execution option leaked into the persisted format.
-        assert CACHE_FORMAT_VERSION == 4
+        # the execution option leaked into the persisted format.  (v5 came
+        # from the message-ledger metrics fields, not from sharding.)
+        assert CACHE_FORMAT_VERSION == 5
 
     def test_sharded_spec_hits_unsharded_cache_entry(self, tmp_path):
         spec = load_catalog_scenario("corner-holes").smoke_variant().run_specs()[0]
