@@ -56,7 +56,7 @@ if __package__ in (None, ""):  # running as a script: make src/ importable
 import numpy as np
 
 from repro.experiments.registry import make_controller
-from repro.network.adjacency import adjacency_lists, build_edges
+from repro.network.adjacency import adjacency_lists, adjacency_offsets, build_edges
 from repro.network.channel import DEFAULT_CHANNEL
 from repro.network.deployment import deploy_per_cell
 from repro.network.node_arrays import ENABLED_CODE
@@ -328,10 +328,14 @@ def bench_adjacency(state: WsnState) -> dict:
 
     ``seconds`` times :func:`~repro.network.adjacency.build_edges` — the
     array edge list every at-scale consumer (the incremental index, the
-    connectivity graph, this benchmark) works from.  The id-keyed
-    dict-of-lists view costs an extra ``adjacency_lists_seconds`` on top; it
-    materialises two Python ints per link, which is inherent to the dict
-    shape and not part of the vectorized core.
+    connectivity graph, this benchmark) works from.
+    ``adjacency_offsets_seconds`` adds the vectorized CSR assembly
+    (composite-key sort into per-node neighbour runs), and
+    ``adjacency_lists_seconds`` the full id-keyed dict-of-lists view on top
+    of it; the gap between the last two is pure Python int/list
+    materialisation (two ints per link), inherent to the dict shape.  All
+    three are best-of-two so none of them carries the one-off allocator
+    costs the others shed.
     """
     arrays = state.arrays
     mask = arrays.enabled_mask()
@@ -346,14 +350,22 @@ def bench_adjacency(state: WsnState) -> dict:
         left, right = build_edges(xs, ys, COMMUNICATION_RANGE)
         edge_seconds = min(edge_seconds, time.perf_counter() - start)
     edges = len(left)
-    start = time.perf_counter()
-    adjacency_lists(arrays.node_ids[mask], left, right)
-    lists_seconds = time.perf_counter() - start
+    ids = arrays.node_ids[mask]
+    offsets_seconds = float("inf")
+    lists_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        adjacency_offsets(ids, left, right)
+        offsets_seconds = min(offsets_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        adjacency_lists(ids, left, right)
+        lists_seconds = min(lists_seconds, time.perf_counter() - start)
     return {
         "seconds": round(edge_seconds, 6),
         "nodes": count,
         "edges": edges,
         "per_edge_seconds": round(edge_seconds / edges, 12) if edges else 0.0,
+        "adjacency_offsets_seconds": round(offsets_seconds, 6),
         "adjacency_lists_seconds": round(lists_seconds, 6),
     }
 

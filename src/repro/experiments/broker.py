@@ -39,13 +39,16 @@ import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.orchestration import (
+    USE_DEFAULT_STATE_CACHE,
     RunExecutor,
     RunRecord,
     RunSpec,
     SerialExecutor,
+    _resolve_state_cache,
     execute_run,
 )
 from repro.experiments.persistence import RunCache, run_key
+from repro.experiments.state_cache import StateCacheStats
 
 __all__ = [
     "Priority",
@@ -171,6 +174,12 @@ class ExperimentBroker:
     run_fn:
         Execution function ``RunSpec -> RunRecord``; injectable for tests
         (e.g. a gated stub proving dedup performs exactly one simulation).
+    state_cache:
+        Initial-state cache consulted by the default ``run_fn``: specs
+        sharing a scenario (the sweep's N schemes x T trials shape) build
+        the initial state once and simulate on private copies.  Defaults to
+        the process-wide cache; pass ``None`` to force from-scratch builds.
+        Ignored when a custom ``run_fn`` is injected.
     """
 
     def __init__(
@@ -179,6 +188,7 @@ class ExperimentBroker:
         workers: int = 1,
         queue_limit: Optional[int] = None,
         run_fn: Callable[[RunSpec], RunRecord] = execute_run,
+        state_cache: object = USE_DEFAULT_STATE_CACHE,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -186,6 +196,7 @@ class ExperimentBroker:
             raise ValueError(f"queue_limit must be >= 1 or None, got {queue_limit}")
         self.cache = cache
         self.queue_limit = queue_limit
+        self.state_cache = state_cache
         self._run_fn = run_fn
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._lock = threading.Lock()
@@ -263,6 +274,11 @@ class ExperimentBroker:
         return [handle.result() for handle in self.submit_many(specs, priority)]
 
     # ------------------------------------------------------------- lifecycle
+    def state_cache_stats(self) -> Optional[StateCacheStats]:
+        """Counters of the broker's initial-state cache (``None`` if disabled)."""
+        cache = _resolve_state_cache(self.state_cache)
+        return cache.stats() if cache is not None else None
+
     def stats(self) -> BrokerStats:
         """A consistent snapshot of the broker's counters."""
         with self._lock:
@@ -311,7 +327,14 @@ class ExperimentBroker:
             with self._lock:
                 self._pending -= 1
             try:
-                record = self._run_fn(handle.spec)
+                if self._run_fn is execute_run:
+                    # The default run function threads the broker's state
+                    # cache through, so worker threads share one initial
+                    # state per scenario (built once, herd-deduplicated by
+                    # the cache's per-key build locks).
+                    record = execute_run(handle.spec, state_cache=self.state_cache)
+                else:
+                    record = self._run_fn(handle.spec)
             except BaseException as error:  # noqa: BLE001 - forwarded to waiters
                 with self._lock:
                     self._failed += 1
@@ -358,9 +381,13 @@ def execute_batch(
 
     resolved: Dict[str, RunRecord] = {}
     missing: List[RunSpec] = []
-    for key, index in owner_index.items():
-        spec = specs[index]
-        hit = cache.get(spec) if cache is not None else None
+    owner_specs = [specs[index] for index in owner_index.values()]
+    hits = (
+        cache.get_many(owner_specs)
+        if cache is not None
+        else [None] * len(owner_specs)
+    )
+    for key, spec, hit in zip(owner_index.keys(), owner_specs, hits):
         if hit is not None:
             resolved[key] = dataclasses.replace(hit, cached=True)
         else:
@@ -368,8 +395,10 @@ def execute_batch(
 
     if missing:
         fresh = executor.run_all(missing)
+        if cache is not None:
+            # One transactional commit for the whole sweep's fresh records
+            # instead of a write per record.
+            cache.put_many(fresh)
         for record in fresh:
-            if cache is not None:
-                cache.put(record)
             resolved[run_key(record.spec)] = record
     return [resolved[key] for key in keys]

@@ -12,8 +12,10 @@ Oracles come in two severities:
   (:func:`repro.core.analysis.expected_movements` context, hard per-process
   bound), energy debit reconciliation, message-ledger conservation
   (``sent == delivered + dropped + in_flight``), sharded-vs-sequential
-  byte-identity, and the shard degrade-instead-of-error guarantee.  Bug
-  violations fail the fuzzing session (exit 1).
+  byte-identity, the shard degrade-instead-of-error guarantee, and
+  state-cached-vs-from-scratch byte-identity (the initial-state cache and
+  its snapshot serialization must never change a record).  Bug violations
+  fail the fuzzing session (exit 1).
 * ``claim`` — a statistical claim of the paper checked on individual seeds:
   *SR moves no more than AR when both converge*.  The paper proves this in
   expectation, not per seed, so per-seed counterexamples are *discoveries*,
@@ -49,6 +51,7 @@ from repro.experiments.orchestration import (
     execute_run,
 )
 from repro.experiments.persistence import RunCache, record_to_dict
+from repro.experiments.state_cache import StateCache
 from repro.experiments.registry import available_schemes
 from repro.experiments.scenario_files import Scenario, dump_scenario
 
@@ -97,6 +100,13 @@ class DifferentialContext:
         value here is a bug-severity violation.
     requested_shards:
         The shard count the sharded rerun asked for.
+    state_cache_trio:
+        ``(baseline, miss, hit)`` executions of the same spec: from scratch
+        with state caching disabled, then twice through a fresh bytes-mode
+        :class:`~repro.experiments.state_cache.StateCache` (the first run
+        builds and stores the initial state, the second restores it via the
+        ``WsnState.to_bytes``/``from_bytes`` round-trip).  Used by the
+        ``state-cache-identity`` oracle.
     """
 
     scenario: Scenario
@@ -105,6 +115,7 @@ class DifferentialContext:
     sharded_pair: Optional[Tuple[RunRecord, RunRecord]] = None
     shard_error: Optional[str] = None
     requested_shards: int = 1
+    state_cache_trio: Optional[Tuple[RunRecord, RunRecord, RunRecord]] = None
 
     def by_trial(self) -> List[Dict[str, RunRecord]]:
         """The records regrouped as one ``{scheme: record}`` map per trial."""
@@ -323,6 +334,35 @@ def check_shard_fallback(context: DifferentialContext) -> List[str]:
     ]
 
 
+def check_state_cache_identity(context: DifferentialContext) -> List[str]:
+    """State-cached runs must be byte-identical to from-scratch runs.
+
+    Compares the canonical persisted form of the cache-off baseline against
+    the cache-miss run (simulates from the state it just built and stored)
+    and the cache-hit run (simulates from a ``from_bytes`` restore of the
+    stored snapshot).  Any divergence means the initial-state cache — or the
+    snapshot serialization underneath its bytes mode — changed the
+    simulation, which the determinism contract forbids on every scenario the
+    fuzzer can express.
+    """
+    if context.state_cache_trio is None:
+        return []
+    baseline, miss, hit = context.state_cache_trio
+    base = record_to_dict(dataclasses.replace(baseline, cached=False))
+    violations: List[str] = []
+    for label, record in (("cache-miss", miss), ("cache-hit", hit)):
+        candidate = record_to_dict(dataclasses.replace(record, cached=False))
+        if candidate != base:
+            differing = sorted(
+                key for key in base if base[key] != candidate.get(key)
+            )
+            violations.append(
+                f"{label} run diverged from the cache-off baseline in "
+                f"{', '.join(differing)}"
+            )
+    return violations
+
+
 #: The oracle registry, in report order.
 ORACLES: Tuple[Oracle, ...] = (
     Oracle("sr-ar-moves", "claim", check_sr_ar_moves),
@@ -331,6 +371,7 @@ ORACLES: Tuple[Oracle, ...] = (
     Oracle("message-conservation", "bug", check_message_conservation),
     Oracle("sharded-identity", "bug", check_sharded_identity),
     Oracle("shard-fallback", "bug", check_shard_fallback),
+    Oracle("state-cache-identity", "bug", check_state_cache_identity),
 )
 
 
@@ -392,10 +433,15 @@ def run_differential(
 
     sharded_pair: Optional[Tuple[RunRecord, RunRecord]] = None
     shard_error: Optional[str] = None
+    state_cache_trio: Optional[Tuple[RunRecord, RunRecord, RunRecord]] = None
     sr_spec = next((spec for spec in specs if spec.scheme == "SR"), None)
     requested = scenario.shards if scenario.shards > 1 else 2
     if sr_spec is not None:
-        sequential = execute_run(dataclasses.replace(sr_spec, shards=1))
+        # From-scratch ground truth for both identity oracles: no state
+        # cache, so nothing under test can leak into the reference.
+        sequential = execute_run(
+            dataclasses.replace(sr_spec, shards=1), state_cache=None
+        )
         try:
             sharded = execute_run(
                 dataclasses.replace(
@@ -405,6 +451,13 @@ def run_differential(
             sharded_pair = (sequential, sharded)
         except Exception as error:  # noqa: BLE001 - the oracle reports it
             shard_error = f"{type(error).__name__}: {error}"
+        # State-cache rerun: a private bytes-mode cache so the first run
+        # exercises build+store and the second the from_bytes restore.
+        trio_spec = dataclasses.replace(sr_spec, shards=1)
+        private_cache = StateCache(capacity=1, mode="bytes")
+        miss = execute_run(trio_spec, state_cache=private_cache)
+        hit = execute_run(trio_spec, state_cache=private_cache)
+        state_cache_trio = (sequential, miss, hit)
 
     context = DifferentialContext(
         scenario=harness_scenario,
@@ -413,6 +466,7 @@ def run_differential(
         sharded_pair=sharded_pair,
         shard_error=shard_error,
         requested_shards=requested,
+        state_cache_trio=state_cache_trio,
     )
     outcomes = tuple(oracle.evaluate(context) for oracle in oracles)
     return DifferentialReport(

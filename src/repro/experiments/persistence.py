@@ -46,7 +46,7 @@ import tempfile
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.experiments.orchestration import RunRecord, RunSpec
 from repro.experiments.registry import factory_identity
@@ -265,6 +265,31 @@ class CacheBackend(ABC):
     def iter_keys(self) -> Iterator[str]:
         """Iterate over the keys of every stored document."""
 
+    # ------------------------------------------------------------ batch ops
+    def get_many(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Documents for every stored key in ``keys`` (absent keys omitted).
+
+        The base implementation loops over :meth:`load`; backends with a
+        cheaper bulk path (one sqlite ``SELECT ... IN``) override it.
+        """
+        documents: Dict[str, str] = {}
+        for key in keys:
+            document = self.load(key)
+            if document is not None:
+                documents[key] = document
+        return documents
+
+    def put_many(self, items: Dict[str, str]) -> None:
+        """Persist every ``key -> document`` pair.
+
+        The base implementation loops over :meth:`store` (each write is
+        individually atomic); backends with real transactions override it to
+        commit the whole batch as one — a sweep's records then land in a
+        single sqlite transaction instead of per-record commits.
+        """
+        for key, document in items.items():
+            self.store(key, document)
+
 
 class JsonDirBackend(CacheBackend):
     """One ``<run_key>.json`` file per record in a flat directory.
@@ -474,6 +499,43 @@ class SqliteBackend(CacheBackend):
         for (key,) in rows:
             yield key
 
+    # ------------------------------------------------------------ batch ops
+    #: Keys per ``IN (...)`` clause; comfortably below sqlite's historical
+    #: 999-host-parameter limit.
+    _SELECT_CHUNK = 500
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Bulk load on one connection: chunked ``SELECT ... WHERE key IN``."""
+        keys = list(keys)
+        documents: Dict[str, str] = {}
+        if not keys:
+            return documents
+        with self._session() as connection:
+            if connection is None:
+                return documents
+            for start in range(0, len(keys), self._SELECT_CHUNK):
+                chunk = keys[start : start + self._SELECT_CHUNK]
+                placeholders = ",".join("?" * len(chunk))
+                rows = connection.execute(
+                    "SELECT run_key, document FROM run_records "
+                    f"WHERE run_key IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+                documents.update(rows)
+        return documents
+
+    def put_many(self, items: Dict[str, str]) -> None:
+        """Upsert every pair in ONE transaction (all-or-nothing commit)."""
+        if not items:
+            return
+        with self._session(write=True) as connection:
+            connection.executemany(
+                "INSERT INTO run_records (run_key, document) VALUES (?, ?) "
+                "ON CONFLICT(run_key) DO UPDATE SET document = excluded.document",
+                list(items.items()),
+            )
+            connection.commit()
+
 
 #: Backend kinds accepted by ``--cache-backend`` / :func:`make_cache`.
 CACHE_BACKENDS = ("json", "sqlite")
@@ -554,7 +616,15 @@ class RunCache:
 
     def get(self, spec: RunSpec) -> Optional[RunRecord]:
         """The stored record for ``spec``, or ``None`` on any kind of miss."""
-        document = self.backend.load(run_key(spec))
+        return self._decode(spec, self.backend.load(run_key(spec)))
+
+    def put(self, record: RunRecord) -> Path:
+        """Persist ``record`` (atomically) and return its storage path."""
+        document = json.dumps(record_to_dict(record), sort_keys=True, indent=1)
+        return self.backend.store(run_key(record.spec), document)
+
+    def _decode(self, spec: RunSpec, document: Optional[str]) -> Optional[RunRecord]:
+        """Validate one stored document against ``spec`` (``None`` on any miss)."""
         try:
             if document is None:
                 raise ValueError("no stored document")
@@ -572,10 +642,33 @@ class RunCache:
         self.stats.record_hit()
         return record
 
-    def put(self, record: RunRecord) -> Path:
-        """Persist ``record`` (atomically) and return its storage path."""
-        document = json.dumps(record_to_dict(record), sort_keys=True, indent=1)
-        return self.backend.store(run_key(record.spec), document)
+    def get_many(self, specs: Sequence[RunSpec]) -> List[Optional[RunRecord]]:
+        """Stored records for ``specs`` in order (``None`` per miss).
+
+        One bulk backend read instead of a lookup per spec; validation and
+        hit/miss accounting are identical to :meth:`get`, so a damaged
+        document still degrades to a per-spec miss.
+        """
+        specs = list(specs)
+        keys = [run_key(spec) for spec in specs]
+        documents = self.backend.get_many(list(dict.fromkeys(keys)))
+        return [
+            self._decode(spec, documents.get(key)) for spec, key in zip(specs, keys)
+        ]
+
+    def put_many(self, records: Sequence[RunRecord]) -> None:
+        """Persist a batch of records in one backend transaction.
+
+        Later duplicates of one spec overwrite earlier ones within the batch
+        (they are byte-identical anyway — ``execute_run`` is deterministic).
+        """
+        items = {
+            run_key(record.spec): json.dumps(
+                record_to_dict(record), sort_keys=True, indent=1
+            )
+            for record in records
+        }
+        self.backend.put_many(items)
 
     def iter_keys(self) -> Iterator[str]:
         """Iterate over the run keys of every stored record."""

@@ -84,6 +84,10 @@ def build_comparison_specs(
     scenario config (same deployment and thinning seed), so all schemes
     repair exactly the same holes with exactly the same spare placement —
     the comparison the paper performs.
+
+    Schemes are innermost, so specs sharing a scenario are consecutive: the
+    executors' scenario grouping and the initial-state cache build each
+    (N, trial) network exactly once for the whole scheme set.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")

@@ -52,7 +52,7 @@ from repro.experiments.figures import (
     figure8_total_distance,
     run_section5_experiment,
 )
-from repro.experiments.orchestration import RunRecord, RunSpec
+from repro.experiments.orchestration import RunRecord, RunSpec, build_initial_state
 from repro.experiments.persistence import (
     RunCache,
     make_cache,
@@ -67,7 +67,6 @@ from repro.network.channel import DEFAULT_CHANNEL, channel_to_dict, parse_channe
 from repro.network.failures import compile_failure_schedule
 from repro.sim.engine import DEFAULT_IDLE_ROUND_LIMIT, RoundBasedEngine
 from repro.sim.rng import derive_rng
-from repro.sim.scenario import build_scenario_state
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8008
@@ -161,8 +160,10 @@ def execute_run_streaming(spec: RunSpec, emit) -> RunRecord:
     sequential path (the engine's ``round_observer`` hook carries the live
     series out), so the returned record is byte-identical to what the broker
     would produce for the same spec and can be published to the shared cache.
+    The initial state comes through :func:`build_initial_state`, so streamed
+    runs share the process-wide state cache with the broker workers.
     """
-    state = build_scenario_state(spec.scenario)
+    state = build_initial_state(spec)
     controller = make_controller(spec.scheme, state)
     rng = derive_rng(spec.seed, spec.controller_rng_label())
     engine = RoundBasedEngine(
@@ -348,6 +349,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 "records": len(cache),
                 **cache.stats.snapshot().as_dict(),
             }
+        state_cache_stats = self.server.broker.state_cache_stats()
+        if state_cache_stats is not None:
+            payload["state_cache"] = state_cache_stats.as_dict()
         self._send_json(200, payload)
 
     def _read_body(self) -> object:

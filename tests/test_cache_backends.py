@@ -232,3 +232,80 @@ def test_concurrent_processes_share_one_store(kind, tmp_path):
     assert not failures
     cache = make_cache(tmp_path, backend=kind)
     assert len(cache) == len(jobs)
+
+
+# ------------------------------------------------------------ batch get/put
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_backend_get_many_put_many_round_trip(kind, tmp_path):
+    """put_many stores every document; get_many returns exactly the present ones."""
+    backend = make_backend(kind, tmp_path)
+    documents = {f"key-{i}": json.dumps({"v": i}) for i in range(20)}
+    backend.put_many(documents)
+    assert backend.count() == len(documents)
+
+    wanted = list(documents) + ["absent-a", "absent-b"]
+    found = backend.get_many(wanted)
+    assert found == documents  # absent keys omitted, not None-valued
+
+    assert backend.get_many([]) == {}
+    assert backend.get_many(["absent-a"]) == {}
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_backend_put_many_overwrites(kind, tmp_path):
+    backend = make_backend(kind, tmp_path)
+    backend.put_many({"k": '{"v": 1}', "other": '{"v": 2}'})
+    backend.put_many({"k": '{"v": 10}'})
+    assert backend.count() == 2
+    assert backend.load("k") == '{"v": 10}'
+
+
+def test_sqlite_get_many_crosses_select_chunks(tmp_path):
+    """Key sets larger than the SELECT chunk are still answered completely."""
+    backend = SqliteBackend(tmp_path / "store")
+    documents = {f"key-{i:04d}": json.dumps({"v": i}) for i in range(1203)}
+    backend.put_many(documents)
+    assert backend.get_many(list(documents)) == documents
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_run_cache_get_many_matches_get(kind, tmp_path):
+    """get_many agrees with per-spec get, including hit/miss accounting."""
+    cache = RunCache(backend=make_backend(kind, tmp_path))
+    stored_specs = [quick_spec(scheme="SR", seed=s) for s in (1, 2)]
+    records = [execute_run(spec) for spec in stored_specs]
+    cache.put_many(records)
+    missing = quick_spec(scheme="AR", seed=3)
+
+    hits = cache.get_many(stored_specs + [missing])
+    assert hits[-1] is None
+    for spec, hit, record in zip(stored_specs, hits[:-1], records):
+        assert hit is not None
+        assert record_to_dict(hit) == record_to_dict(cache.get(spec))
+    snapshot = cache.stats.snapshot()
+    # get_many: 2 hits + 1 miss; the per-spec get() calls above add 2 hits.
+    assert snapshot.hits == 4
+    assert snapshot.misses == 1
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_run_cache_get_many_treats_damage_as_miss(kind, tmp_path):
+    cache = RunCache(backend=make_backend(kind, tmp_path))
+    spec = quick_spec(seed=5)
+    cache.put(execute_run(spec))
+    cache.backend.store(run_key(spec), '{"not": "a record"}')
+    assert cache.get_many([spec]) == [None]
+
+
+@pytest.mark.parametrize("kind", CACHE_BACKENDS)
+def test_run_cache_put_many_then_backend_documents_canonical(kind, tmp_path):
+    """put_many writes the same canonical document as per-record put."""
+    cache_a = RunCache(backend=make_backend(kind, tmp_path / "a"))
+    cache_b = RunCache(backend=make_backend(kind, tmp_path / "b"))
+    records = [execute_run(quick_spec(scheme=s, seed=9)) for s in ("SR", "AR")]
+    cache_a.put_many(records)
+    for record in records:
+        cache_b.put(record)
+    keys = [run_key(quick_spec(scheme=s, seed=9)) for s in ("SR", "AR")]
+    for key in keys:
+        assert cache_a.backend.load(key) == cache_b.backend.load(key)

@@ -326,3 +326,155 @@ class TestCachedSweeps:
         assert records[0].cached and not records[1].cached
         assert executor.runs_executed == 1
         assert cache.hits == 1 and cache.misses == 1
+
+
+class TestStateCacheOrchestration:
+    """The cold-path machinery: scenario grouping, warm pools, shared memory."""
+
+    def test_group_by_scenario_groups_consecutive_runs(self):
+        from repro.experiments.orchestration import _group_by_scenario
+
+        a = QUICK_CONFIG.with_spare_surplus(5)
+        b = QUICK_CONFIG.with_spare_surplus(15)
+        specs = [
+            RunSpec(scenario=a, scheme="SR", seed=1),
+            RunSpec(scenario=a, scheme="AR", seed=1),
+            RunSpec(scenario=b, scheme="SR", seed=1),
+            RunSpec(scenario=a, scheme="SR", seed=2),  # a again: new group
+        ]
+        groups = _group_by_scenario(specs)
+        assert [len(group) for group in groups] == [2, 1, 1]
+        assert [spec for group in groups for spec in group] == specs
+        assert _group_by_scenario([]) == []
+
+    def test_build_initial_state_consults_the_cache(self):
+        from repro.experiments.orchestration import build_initial_state
+        from repro.experiments.state_cache import StateCache
+
+        cache = StateCache()
+        spec = quick_spec()
+        build_initial_state(spec, state_cache=cache)
+        build_initial_state(spec, state_cache=cache)
+        stats = cache.stats()
+        assert (stats.misses, stats.hits) == (1, 1)
+
+    def test_serial_executor_builds_each_scenario_once(self, monkeypatch):
+        from repro.experiments import state_cache as state_cache_module
+        from repro.experiments.state_cache import StateCache
+
+        builds = []
+        real_build = state_cache_module.build_scenario_state
+
+        def counting_build(config):
+            builds.append(config.spare_surplus)
+            return real_build(config)
+
+        monkeypatch.setattr(
+            state_cache_module, "build_scenario_state", counting_build
+        )
+        specs = [
+            quick_spec(scheme=scheme, seed=seed, spare_surplus=surplus)
+            for surplus in (5, 15)
+            for seed in (1, 2)
+            for scheme in ("SR", "AR")
+        ]
+        executor = SerialExecutor(state_cache=StateCache())
+        records = executor.run_all(specs)
+        assert len(records) == len(specs)
+        # 8 specs over 2 distinct scenarios per surplus... scenario ==
+        # (surplus) here because the seed lives in the spec, not the config.
+        assert sorted(builds) == [5, 15]
+
+    def test_serial_executor_without_cache_matches_cached_records(self):
+        from repro.experiments.state_cache import StateCache
+
+        specs = [
+            quick_spec(scheme=scheme, seed=seed)
+            for seed in (1, 2)
+            for scheme in ("SR", "AR")
+        ]
+        plain = SerialExecutor(state_cache=None).run_all(specs)
+        cached = SerialExecutor(state_cache=StateCache(mode="bytes")).run_all(specs)
+        assert [record_to_dict(a) for a in plain] == [
+            record_to_dict(b) for b in cached
+        ]
+
+    def test_parallel_pool_persists_across_run_all_calls(self):
+        specs = [
+            quick_spec(scheme=scheme, seed=seed)
+            for seed in (1, 2)
+            for scheme in ("SR", "AR")
+        ]
+        with ParallelExecutor(2) as executor:
+            first = executor.run_all(specs)
+            pool = executor._pool
+            assert pool is not None
+            second = executor.run_all(specs)
+            assert executor._pool is pool  # same workers, not a fresh pool
+        assert executor._pool is None  # context exit reaped it
+        assert [record_to_dict(a) for a in first] == [
+            record_to_dict(b) for b in second
+        ]
+
+    def test_parallel_pool_rebuilds_when_registry_changes(self):
+        from repro.experiments.registry import register_scheme, unregister_scheme
+
+        specs = [quick_spec(scheme=scheme, seed=1) for scheme in ("SR", "AR")]
+        with ParallelExecutor(2) as executor:
+            executor.run_all(specs)
+            pool = executor._pool
+            register_scheme("SR-pool-test", _module_level_sr_factory)
+            try:
+                executor.run_all(specs + [quick_spec(scheme="SR-pool-test", seed=1)])
+                assert executor._pool is not pool  # overrides changed -> new pool
+            finally:
+                unregister_scheme("SR-pool-test")
+
+    def test_parallel_shared_memory_handoff_matches_serial(self):
+        """Parent-warm scenarios ship over shm and stay byte-identical."""
+        from repro.experiments.state_cache import StateCache
+
+        specs = [
+            quick_spec(scheme=scheme, seed=seed)
+            for seed in (1, 2)
+            for scheme in ("SR", "AR")
+        ]
+        baseline = SerialExecutor(state_cache=None).run_all(specs)
+        cache = StateCache()
+        cache.state_for(specs[0].scenario)  # pre-warm: forces the shm path
+        with ParallelExecutor(2, state_cache=cache) as executor:
+            parallel = executor.run_all(specs)
+        assert [record_to_dict(a) for a in baseline] == [
+            record_to_dict(b) for b in parallel
+        ]
+
+    def test_export_shared_states_ships_only_warm_scenarios(self):
+        from repro.experiments.orchestration import _group_by_scenario
+        from repro.experiments.state_cache import StateCache, scenario_key
+
+        warm = quick_spec(spare_surplus=5)
+        cold = quick_spec(spare_surplus=15)
+        cache = StateCache()
+        cache.state_for(warm.scenario)
+        executor = ParallelExecutor(2, state_cache=cache)
+        groups = _group_by_scenario([warm, cold])
+        transports, segments = executor._export_shared_states(groups)
+        try:
+            assert set(transports) == {scenario_key(warm.scenario)}
+            assert len(segments) == 1
+            segment_name, inline = transports[scenario_key(warm.scenario)]
+            assert segment_name is not None and inline is None
+        finally:
+            executor._release_segments(segments)
+
+    def test_worker_group_execution_restores_from_inline_snapshot(self):
+        """The pickle fallback path: no shm segment, snapshot ships inline."""
+        from repro.experiments.orchestration import _execute_spec_group
+        from repro.sim.scenario import build_scenario_state
+
+        spec = quick_spec()
+        snapshot = build_scenario_state(spec.scenario).to_bytes()
+        records = _execute_spec_group(((spec,), None, snapshot, False))
+        assert record_to_dict(records[0]) == record_to_dict(
+            execute_run(spec, state_cache=None)
+        )

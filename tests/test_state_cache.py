@@ -1,0 +1,243 @@
+"""Tests for the content-addressed initial-state cache.
+
+The contracts exercised here:
+
+* :func:`scenario_key` addresses the *scenario* — equal configs share a key,
+  any field change (and any snapshot-layout bump) changes it;
+* :class:`StateCache` lookups are LRU-bounded, counted, and always hand out
+  private copies — mutating a result never contaminates later lookups;
+* both storage modes (``clone`` and ``bytes``) return states byte-identical
+  to a from-scratch ``build_scenario_state`` of the same config;
+* a thundering herd of threads over one missing scenario performs exactly
+  one build;
+* ``execute_run`` through a state cache produces records byte-identical to
+  cache-off execution, and the process-wide default can be swapped/disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.orchestration import RunSpec, execute_run
+from repro.experiments.persistence import record_to_dict
+from repro.experiments import state_cache as state_cache_module
+from repro.experiments.state_cache import (
+    DEFAULT_CAPACITY,
+    STATE_CACHE_MODES,
+    StateCache,
+    default_state_cache,
+    scenario_key,
+    set_default_state_cache,
+)
+from repro.sim.scenario import ScenarioConfig, build_scenario_state
+
+QUICK_CONFIG = ScenarioConfig(columns=5, rows=5, deployed_count=150, seed=7)
+
+
+def assert_states_identical(left, right) -> None:
+    """Byte-level equality of two states: grid, every column, head table."""
+    assert left.grid.columns == right.grid.columns
+    assert left.grid.rows == right.grid.rows
+    assert left.grid.cell_size == right.grid.cell_size
+    for column in (
+        "node_ids",
+        "positions",
+        "energy",
+        "initial_energy",
+        "state",
+        "role",
+        "cell",
+        "moved_distance",
+        "move_count",
+    ):
+        a = getattr(left.arrays, column)
+        b = getattr(right.arrays, column)
+        assert a.dtype == b.dtype, column
+        assert np.array_equal(a, b), column
+    assert left.heads() == right.heads()
+
+
+# -------------------------------------------------------------- scenario_key
+def test_scenario_key_equal_configs_share_a_key():
+    assert scenario_key(QUICK_CONFIG) == scenario_key(
+        ScenarioConfig(columns=5, rows=5, deployed_count=150, seed=7)
+    )
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        QUICK_CONFIG.with_seed(8),
+        QUICK_CONFIG.with_spare_surplus(11),
+        ScenarioConfig(columns=6, rows=5, deployed_count=150, seed=7),
+    ],
+)
+def test_scenario_key_changes_with_any_field(variant):
+    assert scenario_key(variant) != scenario_key(QUICK_CONFIG)
+
+
+def test_scenario_key_folds_in_snapshot_version(monkeypatch):
+    """A snapshot-layout bump must invalidate every existing key."""
+    before = scenario_key(QUICK_CONFIG)
+    monkeypatch.setattr(state_cache_module, "BUFFER_FORMAT_VERSION", 999)
+    assert scenario_key(QUICK_CONFIG) != before
+
+
+# -------------------------------------------------------------------- lookup
+@pytest.mark.parametrize("mode", STATE_CACHE_MODES)
+def test_state_for_matches_from_scratch_build(mode):
+    cache = StateCache(mode=mode)
+    for _ in range(2):  # miss, then hit — both must equal a fresh build
+        state = cache.state_for(QUICK_CONFIG)
+        assert_states_identical(state, build_scenario_state(QUICK_CONFIG))
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+    assert stats.builds_saved == 1
+    assert stats.mode == mode
+
+
+@pytest.mark.parametrize("mode", STATE_CACHE_MODES)
+def test_lookups_hand_out_private_copies(mode):
+    cache = StateCache(mode=mode)
+    first = cache.state_for(QUICK_CONFIG)
+    victim = first.enabled_nodes()[0].node_id
+    first.disable_node(victim)
+    second = cache.state_for(QUICK_CONFIG)
+    assert second.node(victim).is_enabled
+    assert_states_identical(second, build_scenario_state(QUICK_CONFIG))
+
+
+def test_get_is_a_pure_lookup_and_put_stores():
+    cache = StateCache()
+    assert cache.get(QUICK_CONFIG) is None
+    assert not cache.contains(QUICK_CONFIG)
+    built = build_scenario_state(QUICK_CONFIG)
+    cache.put(QUICK_CONFIG, built)
+    assert cache.contains(QUICK_CONFIG)
+    hit = cache.get(QUICK_CONFIG)
+    assert hit is not built  # private copy, not the stored entry
+    assert_states_identical(hit, built)
+
+
+@pytest.mark.parametrize("mode", STATE_CACHE_MODES)
+def test_snapshot_bytes_round_trips(mode):
+    from repro.network.state import WsnState
+
+    cache = StateCache(mode=mode)
+    assert cache.snapshot_bytes(QUICK_CONFIG) is None
+    built = cache.state_for(QUICK_CONFIG)
+    snapshot = cache.snapshot_bytes(QUICK_CONFIG)
+    assert isinstance(snapshot, bytes)
+    restored = WsnState.from_bytes(snapshot, head_policy=QUICK_CONFIG.head_policy_fn)
+    assert_states_identical(restored, built)
+
+
+def test_lru_eviction_drops_the_least_recent_scenario():
+    cache = StateCache(capacity=2)
+    first = QUICK_CONFIG
+    second = QUICK_CONFIG.with_seed(8)
+    third = QUICK_CONFIG.with_seed(9)
+    cache.state_for(first)
+    cache.state_for(second)
+    cache.state_for(first)  # refresh first; second is now LRU
+    cache.state_for(third)
+    assert cache.contains(first)
+    assert not cache.contains(second)
+    assert cache.contains(third)
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.entries == 2
+    assert len(cache) == 2
+
+
+def test_clear_empties_the_cache():
+    cache = StateCache()
+    cache.state_for(QUICK_CONFIG)
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert not cache.contains(QUICK_CONFIG)
+
+
+def test_rejects_bad_capacity_and_mode():
+    with pytest.raises(ValueError):
+        StateCache(capacity=0)
+    with pytest.raises(ValueError):
+        StateCache(mode="marble")
+
+
+def test_concurrent_lookups_build_once(monkeypatch):
+    """A thundering herd over one missing scenario performs exactly one build."""
+    builds = []
+    real_build = state_cache_module.build_scenario_state
+
+    def counting_build(config):
+        builds.append(scenario_key(config))
+        return real_build(config)
+
+    monkeypatch.setattr(state_cache_module, "build_scenario_state", counting_build)
+    cache = StateCache()
+    barrier = threading.Barrier(8)
+    results = []
+    errors = []
+
+    def lookup():
+        try:
+            barrier.wait(timeout=10)
+            results.append(cache.state_for(QUICK_CONFIG))
+        except Exception as error:  # noqa: BLE001 - asserted below
+            errors.append(error)
+
+    threads = [threading.Thread(target=lookup) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(builds) == 1
+    assert len(results) == 8
+    for state in results:
+        assert_states_identical(state, build_scenario_state(QUICK_CONFIG))
+
+
+# ----------------------------------------------------------- process default
+def test_default_cache_swap_and_disable():
+    original = default_state_cache()
+    try:
+        replacement = StateCache(capacity=3)
+        previous = set_default_state_cache(replacement)
+        assert previous is original
+        assert default_state_cache() is replacement
+        assert set_default_state_cache(None) is replacement
+        assert default_state_cache() is None
+    finally:
+        set_default_state_cache(original)
+    assert default_state_cache() is original
+
+
+def test_default_cache_exists_with_default_capacity():
+    cache = default_state_cache()
+    assert cache is not None
+    assert cache.capacity == DEFAULT_CAPACITY
+
+
+# ------------------------------------------------------- execute_run identity
+@pytest.mark.parametrize("mode", STATE_CACHE_MODES)
+def test_execute_run_records_identical_with_and_without_cache(mode):
+    """Cache-off, cache-miss, and cache-hit runs serialize identically."""
+    spec = RunSpec(scenario=QUICK_CONFIG, scheme="SR", seed=3, max_rounds=40)
+    cache = StateCache(mode=mode)
+    baseline = execute_run(spec, state_cache=None)
+    miss = execute_run(spec, state_cache=cache)
+    hit = execute_run(spec, state_cache=cache)
+    dumps = [
+        json.dumps(record_to_dict(record), sort_keys=True)
+        for record in (baseline, miss, hit)
+    ]
+    assert dumps[0] == dumps[1] == dumps[2]
+    stats = cache.stats()
+    assert stats.misses == 1
+    assert stats.hits == 1
